@@ -1,0 +1,509 @@
+// Paper-level benchmarks: one per table and figure of the evaluation
+// (see DESIGN.md §3 and EXPERIMENTS.md). Simulator benchmarks report
+// the virtual-time throughput as the custom metric "simops/s" — wall
+// time per iteration is just how long the simulation takes to compute
+// and is not the result. Host benchmarks measure the real goroutine
+// implementations and report ns/op directly.
+//
+// Run everything:   go test -bench=. -benchmem
+// One experiment:   go test -bench=BenchmarkFig2Sim -benchtime=1x
+package pimds
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"pimds/internal/cds/couplinglist"
+	"pimds/internal/cds/faaqueue"
+	"pimds/internal/cds/fclist"
+	"pimds/internal/cds/fcqueue"
+	"pimds/internal/cds/fcskip"
+	"pimds/internal/cds/fcstack"
+	"pimds/internal/cds/lazylist"
+	"pimds/internal/cds/lockfreeskip"
+	"pimds/internal/cds/msqueue"
+	"pimds/internal/cds/treiberstack"
+	"pimds/internal/core/pimhash"
+	"pimds/internal/core/pimskip"
+	"pimds/internal/core/pimstack"
+	"pimds/internal/harness"
+	"pimds/internal/model"
+	"pimds/internal/sim"
+)
+
+func simOpts() harness.SimOpts {
+	o := harness.DefaultSimOpts()
+	o.Warmup /= 5
+	o.Measure /= 5
+	return o
+}
+
+// --- Table 1 / Figure 2: linked-lists --------------------------------
+
+// BenchmarkTable1Model evaluates the closed-form Table 1 (micro-cost of
+// the model itself; the throughput numbers go to cmd/pimmodel).
+func BenchmarkTable1Model(b *testing.B) {
+	pr := model.DefaultParams()
+	c := model.ListConfig{N: 1000, P: 28}
+	for i := 0; i < b.N; i++ {
+		_ = model.Table1(pr, c)
+	}
+}
+
+// BenchmarkFig2Sim regenerates the Figure 2 series in virtual time: all
+// five Table 1 variants at p = 8.
+func BenchmarkFig2Sim(b *testing.B) {
+	variants := []struct {
+		name string
+		alg  model.ListAlgorithm
+	}{
+		{"FineGrainedLocks", model.FineGrainedLockList},
+		{"FCNoCombining", model.FCListNoCombining},
+		{"FCCombining", model.FCListCombining},
+		{"PIMNaive", model.PIMListNoCombining},
+		{"PIMCombining", model.PIMListCombining},
+	}
+	for _, v := range variants {
+		b.Run(v.name, func(b *testing.B) {
+			var ops float64
+			for i := 0; i < b.N; i++ {
+				ops = harness.SimList(simOpts(), v.alg, 8, 400)
+			}
+			b.ReportMetric(ops, "simops/s")
+		})
+	}
+}
+
+// BenchmarkFig2Host measures the real goroutine linked-lists (the
+// paper's host emulation): ns/op across GOMAXPROCS workers.
+func BenchmarkFig2Host(b *testing.B) {
+	const keySpace = 400
+	b.Run("LazyList", func(b *testing.B) {
+		l := lazylist.New()
+		for _, k := range harness.PreloadKeys(keySpace) {
+			l.Add(k)
+		}
+		b.RunParallel(func(pb *testing.PB) {
+			rng := rand.New(rand.NewSource(1))
+			for pb.Next() {
+				k := rng.Int63n(keySpace)
+				if rng.Intn(2) == 0 {
+					l.Add(k)
+				} else {
+					l.Remove(k)
+				}
+			}
+		})
+	})
+	b.Run("CouplingList", func(b *testing.B) {
+		// Hand-over-hand locking: the strawman "fine-grained locks";
+		// compare with LazyList to see why the paper uses the latter.
+		l := couplinglist.New()
+		for _, k := range harness.PreloadKeys(keySpace) {
+			l.Add(k)
+		}
+		b.RunParallel(func(pb *testing.PB) {
+			rng := rand.New(rand.NewSource(8))
+			for pb.Next() {
+				k := rng.Int63n(keySpace)
+				if rng.Intn(2) == 0 {
+					l.Add(k)
+				} else {
+					l.Remove(k)
+				}
+			}
+		})
+	})
+	for _, combining := range []bool{false, true} {
+		name := "FCList"
+		if combining {
+			name = "FCListCombining"
+		}
+		b.Run(name, func(b *testing.B) {
+			l := fclist.New(combining)
+			h := l.NewHandle()
+			for _, k := range harness.PreloadKeys(keySpace) {
+				h.Add(k)
+			}
+			b.RunParallel(func(pb *testing.PB) {
+				handle := l.NewHandle()
+				rng := rand.New(rand.NewSource(2))
+				for pb.Next() {
+					k := rng.Int63n(keySpace)
+					if rng.Intn(2) == 0 {
+						handle.Add(k)
+					} else {
+						handle.Remove(k)
+					}
+				}
+			})
+		})
+	}
+}
+
+// --- Table 2 / Figure 4: skip-lists ----------------------------------
+
+// BenchmarkTable2Model evaluates the closed-form Table 2.
+func BenchmarkTable2Model(b *testing.B) {
+	pr := model.DefaultParams()
+	c := model.SkipConfig{N: 1 << 16, P: 28, K: 16}
+	for i := 0; i < b.N; i++ {
+		_ = model.Table2(pr, c)
+	}
+}
+
+// BenchmarkFig4Sim regenerates the Figure 4 series in virtual time at
+// p = 16: the lock-free baseline, partitioned FC, and the PIM skip-list
+// at k ∈ {8, 16}.
+func BenchmarkFig4Sim(b *testing.B) {
+	const keySpace = 1 << 14
+	const p = 16
+	b.Run("LockFree", func(b *testing.B) {
+		var ops float64
+		for i := 0; i < b.N; i++ {
+			ops = harness.SimSkipLockFree(simOpts(), p, keySpace, false)
+		}
+		b.ReportMetric(ops, "simops/s")
+	})
+	for _, k := range []int{1, 4, 8, 16} {
+		b.Run(benchName("FCPartitions", k), func(b *testing.B) {
+			var ops float64
+			for i := 0; i < b.N; i++ {
+				ops = harness.SimSkipFC(simOpts(), k, p, keySpace)
+			}
+			b.ReportMetric(ops, "simops/s")
+		})
+	}
+	for _, k := range []int{8, 16} {
+		b.Run(benchName("PIMPartitions", k), func(b *testing.B) {
+			var ops float64
+			for i := 0; i < b.N; i++ {
+				ops, _ = harness.SimSkipPIM(simOpts(), k, p, keySpace)
+			}
+			b.ReportMetric(ops, "simops/s")
+		})
+	}
+}
+
+// BenchmarkFig4Host measures the real goroutine skip-lists.
+func BenchmarkFig4Host(b *testing.B) {
+	const keySpace = 1 << 14
+	b.Run("LockFree", func(b *testing.B) {
+		l := lockfreeskip.New(3)
+		for _, k := range harness.PreloadKeys(keySpace) {
+			l.Add(k)
+		}
+		b.RunParallel(func(pb *testing.PB) {
+			rng := rand.New(rand.NewSource(4))
+			for pb.Next() {
+				k := rng.Int63n(keySpace)
+				if rng.Intn(2) == 0 {
+					l.Add(k)
+				} else {
+					l.Remove(k)
+				}
+			}
+		})
+	})
+	for _, k := range []int{1, 4, 8, 16} {
+		b.Run(benchName("FCPartitions", k), func(b *testing.B) {
+			l := fcskip.New(keySpace, k, 5)
+			h := l.NewHandle()
+			for _, key := range harness.PreloadKeys(keySpace) {
+				h.Add(key)
+			}
+			b.RunParallel(func(pb *testing.PB) {
+				handle := l.NewHandle()
+				rng := rand.New(rand.NewSource(6))
+				for pb.Next() {
+					key := rng.Int63n(keySpace)
+					if rng.Intn(2) == 0 {
+						handle.Add(key)
+					} else {
+						handle.Remove(key)
+					}
+				}
+			})
+		})
+	}
+}
+
+// --- §5.2: FIFO queues -----------------------------------------------
+
+// BenchmarkQueueModel evaluates the closed-form queue bounds.
+func BenchmarkQueueModel(b *testing.B) {
+	pr := model.DefaultParams()
+	for i := 0; i < b.N; i++ {
+		_ = model.QueueTable(pr, model.QueueConfig{P: 28})
+	}
+}
+
+// BenchmarkQueueSim regenerates the §5.2 comparison in virtual time:
+// the pipelined PIM queue against both baselines, plus the pipelining
+// and short-queue ablations.
+func BenchmarkQueueSim(b *testing.B) {
+	regimes := []struct {
+		name string
+		run  func(harness.SimOpts) float64
+	}{
+		{"PIMPipelined", func(o harness.SimOpts) float64 {
+			return harness.SimPIMQueue(o, harness.QueueRegime{Cores: 2, Threshold: 1 << 30,
+				Pipelining: true, Dequeuers: 12, PrefillLong: true})
+		}},
+		{"PIMNoPipelining", func(o harness.SimOpts) float64 {
+			return harness.SimPIMQueue(o, harness.QueueRegime{Cores: 2, Threshold: 1 << 30,
+				Pipelining: false, Dequeuers: 12, PrefillLong: true})
+		}},
+		{"PIMShortQueue", func(o harness.SimOpts) float64 {
+			return harness.SimPIMQueue(o, harness.QueueRegime{Cores: 1, Threshold: 1 << 30,
+				Pipelining: true, Enqueuers: 6, Dequeuers: 6, PrefillLong: true})
+		}},
+		{"FCBound", func(o harness.SimOpts) float64 {
+			return harness.SimQueueFC(o, 24, false) / 2
+		}},
+		{"FAABound", func(o harness.SimOpts) float64 {
+			return harness.SimQueueFAA(o, 1, false)
+		}},
+	}
+	for _, r := range regimes {
+		b.Run(r.name, func(b *testing.B) {
+			var ops float64
+			for i := 0; i < b.N; i++ {
+				ops = r.run(simOpts())
+			}
+			b.ReportMetric(ops, "simops/s")
+		})
+	}
+}
+
+// BenchmarkQueueHost measures the real goroutine queues.
+func BenchmarkQueueHost(b *testing.B) {
+	b.Run("FCQueue", func(b *testing.B) {
+		q := fcqueue.New()
+		h := q.NewHandle()
+		for i := int64(0); i < 1<<16; i++ {
+			h.Enqueue(i)
+		}
+		var tid int64
+		b.RunParallel(func(pb *testing.PB) {
+			handle := q.NewHandle()
+			enq := (tid)%2 == 0
+			tid++
+			for pb.Next() {
+				if enq {
+					handle.Enqueue(1)
+				} else {
+					handle.Dequeue()
+				}
+			}
+		})
+	})
+	b.Run("FAAQueue", func(b *testing.B) {
+		q := faaqueue.New()
+		for i := int64(0); i < 1<<16; i++ {
+			q.Enqueue(i)
+		}
+		var tid int64
+		b.RunParallel(func(pb *testing.PB) {
+			enq := (tid)%2 == 0
+			tid++
+			for pb.Next() {
+				if enq {
+					q.Enqueue(1)
+				} else {
+					q.Dequeue()
+				}
+			}
+		})
+	})
+	b.Run("MSQueue", func(b *testing.B) {
+		q := msqueue.New()
+		for i := int64(0); i < 1<<16; i++ {
+			q.Enqueue(i)
+		}
+		var tid int64
+		b.RunParallel(func(pb *testing.PB) {
+			enq := (tid)%2 == 0
+			tid++
+			for pb.Next() {
+				if enq {
+					q.Enqueue(1)
+				} else {
+					q.Dequeue()
+				}
+			}
+		})
+	})
+}
+
+// --- §4.2.1: rebalancing ---------------------------------------------
+
+// BenchmarkRebalanceSim measures the skewed hot-range workload with
+// and without the §4.2.1 migration protocol: the "Rebalancing" variant
+// should report substantially higher simops/s than "Static".
+func BenchmarkRebalanceSim(b *testing.B) {
+	const keySpace = 1 << 12
+	run := func(rebalance bool) float64 {
+		e := sim.NewEngine(sim.ConfigFromParams(model.DefaultParams()))
+		s := pimskip.New(e, keySpace, 4, 31)
+		if rebalance {
+			s.Rebalance = &pimskip.RebalanceConfig{MaxLen: 400}
+			s.MigBatch = 4
+		}
+		for i := 0; i < 8; i++ {
+			g := harness.NewGenerator(int64(700+i),
+				harness.HotRange{N: keySpace, HotPct: 90, FracPct: 25},
+				harness.Mix{AddPct: 60, RemovePct: 30, ContainsPct: 10})
+			s.NewClient(g.SkipStream()).Start()
+		}
+		snapshot := func() uint64 {
+			var total uint64
+			for _, part := range s.Partitions() {
+				total += part.Core().Stats.Ops
+			}
+			return total
+		}
+		_, ops := sim.Measure(e, func() {}, snapshot, 200*sim.Microsecond, 4*sim.Millisecond)
+		return ops
+	}
+	for _, rebalance := range []bool{false, true} {
+		name := "Static"
+		if rebalance {
+			name = "Rebalancing"
+		}
+		rebalance := rebalance
+		b.Run(name, func(b *testing.B) {
+			var ops float64
+			for i := 0; i < b.N; i++ {
+				ops = run(rebalance)
+			}
+			b.ReportMetric(ops, "simops/s")
+		})
+	}
+}
+
+// --- Extension: PIM stack ---------------------------------------------
+
+// BenchmarkStackSim measures the PIM stack (simops/s) with and without
+// pipelining.
+func BenchmarkStackSim(b *testing.B) {
+	run := func(pipelining bool) float64 {
+		e := sim.NewEngine(sim.ConfigFromParams(model.DefaultParams()))
+		s := pimstack.New(e, 2, 1<<30)
+		s.Pipelining = pipelining
+		var cls []*pimstack.Client
+		var cpus []*sim.CPU
+		for i := 0; i < 6; i++ {
+			p := s.NewClient(pimstack.Pusher)
+			q := s.NewClient(pimstack.Popper)
+			cls = append(cls, p, q)
+			cpus = append(cpus, p.CPU(), q.CPU())
+		}
+		start := func() {
+			for _, cl := range cls {
+				cl.Start()
+			}
+		}
+		_, ops := sim.Measure(e, start, sim.OpsOfCPUs(cpus), 50*sim.Microsecond, 500*sim.Microsecond)
+		return ops
+	}
+	for _, pipelining := range []bool{true, false} {
+		name := "Pipelined"
+		if !pipelining {
+			name = "NoPipelining"
+		}
+		pipelining := pipelining
+		b.Run(name, func(b *testing.B) {
+			var ops float64
+			for i := 0; i < b.N; i++ {
+				ops = run(pipelining)
+			}
+			b.ReportMetric(ops, "simops/s")
+		})
+	}
+}
+
+// BenchmarkStackHost measures the real goroutine stacks.
+func BenchmarkStackHost(b *testing.B) {
+	b.Run("Treiber", func(b *testing.B) {
+		s := treiberstack.New()
+		for i := int64(0); i < 1<<15; i++ {
+			s.Push(i)
+		}
+		var tid int64
+		b.RunParallel(func(pb *testing.PB) {
+			push := tid%2 == 0
+			tid++
+			for pb.Next() {
+				if push {
+					s.Push(1)
+				} else {
+					s.Pop()
+				}
+			}
+		})
+	})
+	for _, eliminate := range []bool{false, true} {
+		name := "FCStack"
+		if eliminate {
+			name = "FCStackElimination"
+		}
+		eliminate := eliminate
+		b.Run(name, func(b *testing.B) {
+			s := fcstack.New(eliminate)
+			h := s.NewHandle()
+			for i := int64(0); i < 1<<15; i++ {
+				h.Push(i)
+			}
+			var tid int64
+			b.RunParallel(func(pb *testing.PB) {
+				handle := s.NewHandle()
+				push := tid%2 == 0
+				tid++
+				for pb.Next() {
+					if push {
+						handle.Push(1)
+					} else {
+						handle.Pop()
+					}
+				}
+			})
+		})
+	}
+}
+
+// --- Extension: PIM hash map -----------------------------------------
+
+// BenchmarkHashSim measures the extension PIM hash map across vault
+// counts (simops/s).
+func BenchmarkHashSim(b *testing.B) {
+	for _, k := range []int{1, 4, 8} {
+		b.Run(benchName("PIMVaults", k), func(b *testing.B) {
+			var ops float64
+			for i := 0; i < b.N; i++ {
+				e := sim.NewEngine(sim.ConfigFromParams(model.DefaultParams()))
+				m := pimhash.New(e, k)
+				kv := map[int64]int64{}
+				for kk := int64(0); kk < 4096; kk++ {
+					kv[kk] = kk
+				}
+				m.Preload(kv)
+				var clients []*sim.Client
+				for c := 0; c < 16; c++ {
+					rng := rand.New(rand.NewSource(int64(c)))
+					clients = append(clients, m.NewClient(func(uint64) pimhash.Op {
+						return pimhash.Op{Kind: pimhash.MsgGet, Key: rng.Int63n(4096)}
+					}))
+				}
+				meter := &sim.Meter{Engine: e, Clients: clients}
+				_, ops = meter.Run(100*sim.Microsecond, 1*sim.Millisecond)
+			}
+			b.ReportMetric(ops, "simops/s")
+		})
+	}
+}
+
+func benchName(prefix string, k int) string {
+	return fmt.Sprintf("%s=%d", prefix, k)
+}

@@ -1,0 +1,85 @@
+// Command pimbench regenerates every table and figure of the paper's
+// evaluation (see DESIGN.md §3 for the experiment index).
+//
+// Usage:
+//
+//	pimbench -list
+//	pimbench -exp fig2 [-format csv] [-quick]
+//	pimbench -exp all -r1 3 -r2 3 -r3 1
+//
+// Simulator experiments run in virtual time and are deterministic;
+// host experiments (-exp fig2-host, fig4-host, queue-host) measure the
+// real goroutine implementations on this machine.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"pimds/internal/harness"
+	"pimds/internal/model"
+)
+
+func main() {
+	var (
+		expID   = flag.String("exp", "", "experiment id to run, or 'all' (see -list)")
+		list    = flag.Bool("list", false, "list available experiments")
+		format  = flag.String("format", "table", "output format: table or csv")
+		quick   = flag.Bool("quick", false, "smaller sweeps and shorter windows")
+		r1      = flag.Float64("r1", model.DefaultR1, "Lcpu/Lpim ratio")
+		r2      = flag.Float64("r2", model.DefaultR2, "Lcpu/Lllc ratio")
+		r3      = flag.Float64("r3", model.DefaultR3, "Latomic/Lcpu ratio")
+		lcpu    = flag.Duration("lcpu", model.DefaultLcpu, "absolute CPU memory latency")
+		threads = flag.Int("host-threads", runtime.GOMAXPROCS(0)*4, "max threads for host experiments")
+		hostDur = flag.Duration("host-measure", 300*time.Millisecond, "host measurement window per point")
+	)
+	flag.Parse()
+
+	if *list || *expID == "" {
+		fmt.Println("available experiments:")
+		for _, e := range harness.Experiments() {
+			fmt.Printf("  %-16s %s\n", e.ID, e.Description)
+		}
+		if *expID == "" && !*list {
+			os.Exit(2)
+		}
+		return
+	}
+
+	opts := harness.Options{
+		Params:      model.Params{Lcpu: *lcpu, R1: *r1, R2: *r2, R3: *r3},
+		Quick:       *quick,
+		HostThreads: *threads,
+		HostMeasure: *hostDur,
+	}
+	if err := opts.Params.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	run := func(e harness.Experiment) {
+		fmt.Printf("# %s — %s\n", e.ID, e.Description)
+		for _, tab := range e.Run(opts) {
+			if err := tab.Write(os.Stdout, *format); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+	}
+
+	if *expID == "all" {
+		for _, e := range harness.Experiments() {
+			run(e)
+		}
+		return
+	}
+	e, ok := harness.FindExperiment(*expID)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", *expID)
+		os.Exit(2)
+	}
+	run(e)
+}

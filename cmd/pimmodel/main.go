@@ -1,0 +1,83 @@
+// Command pimmodel evaluates the paper's analytical performance model
+// (Section 3): it prints Table 1, Table 2 and the Section 5.2 queue
+// bounds for chosen parameters, and solves the crossover conditions
+// the paper states.
+//
+// Usage:
+//
+//	pimmodel -table 1 -n 1000 -p 8
+//	pimmodel -table 2 -N 65536 -p 28 -k 16
+//	pimmodel -table queue -p 16
+//	pimmodel -crossovers -p 28
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pimds/internal/harness"
+	"pimds/internal/model"
+)
+
+func main() {
+	var (
+		table = flag.String("table", "", "which table: 1, 2 or queue (empty = all)")
+		cross = flag.Bool("crossovers", false, "print crossover conditions")
+		n     = flag.Int("n", 1000, "linked-list size")
+		bigN  = flag.Int("N", 1<<16, "skip-list size")
+		p     = flag.Int("p", 8, "CPU threads")
+		k     = flag.Int("k", 8, "partitions / vaults")
+		r1    = flag.Float64("r1", model.DefaultR1, "Lcpu/Lpim")
+		r2    = flag.Float64("r2", model.DefaultR2, "Lcpu/Lllc")
+		r3    = flag.Float64("r3", model.DefaultR3, "Latomic/Lcpu")
+		lcpu  = flag.Duration("lcpu", model.DefaultLcpu, "absolute CPU memory latency")
+	)
+	flag.Parse()
+
+	pr := model.Params{Lcpu: *lcpu, R1: *r1, R2: *r2, R3: *r3}
+	if err := pr.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	emit := func(title string, rows []model.Row) {
+		t := &harness.Table{Title: title, Columns: []string{"algorithm", "formula", "throughput"}}
+		for _, r := range rows {
+			t.AddRow(r.Algorithm, r.Formula, model.FormatOps(r.OpsPerSec))
+		}
+		if err := t.WriteText(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+
+	all := *table == "" && !*cross
+	if *table == "1" || all {
+		emit(fmt.Sprintf("Table 1 — linked-lists (n=%d, p=%d)", *n, *p),
+			model.Table1(pr, model.ListConfig{N: *n, P: *p}))
+	}
+	if *table == "2" || all {
+		emit(fmt.Sprintf("Table 2 — skip-lists (N=%d, p=%d, k=%d, β=%.1f)", *bigN, *p, *k, model.Beta(*bigN)),
+			model.Table2(pr, model.SkipConfig{N: *bigN, P: *p, K: *k}))
+	}
+	if *table == "queue" || all {
+		emit(fmt.Sprintf("§5.2 — FIFO queues (p=%d)", *p),
+			model.QueueTable(pr, model.QueueConfig{P: *p}))
+	}
+	if *cross || all {
+		lc := model.ListConfig{N: *n, P: *p}
+		sc := model.SkipConfig{N: *bigN, P: *p}
+		fmt.Println("crossovers:")
+		fmt.Printf("  linked-list: PIM+combining beats fine-grained locks when r1 > %.3f (always < 2)\n",
+			model.MinR1ForPIMListWin(lc))
+		fmt.Printf("  linked-list: naive PIM wins only up to p = %d threads at r1 = %v\n",
+			model.MaxThreadsNaivePIMListWins(pr), pr.R1)
+		fmt.Printf("  skip-list: PIM needs k ≥ %d partitions to beat %d lock-free threads (≈ p/r1)\n",
+			model.MinKForPIMSkipWin(pr, sc), *p)
+		fmt.Printf("  skip-list: PIM is %.2f× FC at equal k (→ r1 = %v for large β)\n",
+			model.PIMSkipVsFCSpeedup(pr, sc), pr.R1)
+		fmt.Printf("  queue: PIM = %.2f× FC and %.2f× F&A (wins iff 2·r1/r2 > 1 and r1·r3 > 1: %v)\n",
+			model.PIMQueueVsFCSpeedup(pr), model.PIMQueueVsFAASpeedup(pr), model.PIMQueueWins(pr))
+	}
+}

@@ -1,0 +1,17 @@
+// Package pimds reproduces "Concurrent Data Structures for Near-Memory
+// Computing" (Liu, Calciu, Herlihy, Mutlu — SPAA 2017) in Go.
+//
+// The repository root carries the paper-level benchmarks
+// (bench_test.go): one benchmark per table and figure of the paper's
+// evaluation, each reporting the simulated or host-measured throughput
+// of the corresponding data structures. The implementation lives under
+// internal/ (see DESIGN.md for the full inventory):
+//
+//   - internal/sim      — deterministic discrete-event PIM simulator
+//   - internal/model    — the paper's analytical performance model
+//   - internal/cds      — CPU-side concurrent baselines (real goroutines)
+//   - internal/core     — the PIM-managed list, skip-list and FIFO queue
+//   - internal/harness  — workloads, runners, experiment registry
+//
+// Start with: go run ./examples/quickstart
+package pimds

@@ -1,0 +1,83 @@
+// hashmap: the extension structure — a PIM-managed hash map (the
+// "other types of PIM-managed data structures" the paper's conclusion
+// invites). Hash routing makes the load uniform with no directory or
+// migration machinery, and because each operation is O(1) probes, the
+// structure is message-latency-bound: the regime where the §5.2
+// pipelining insight matters most.
+//
+// Run with:
+//
+//	go run ./examples/hashmap
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"pimds/internal/core/pimhash"
+	"pimds/internal/model"
+	"pimds/internal/sim"
+)
+
+const (
+	keys    = 1 << 14
+	clients = 24
+)
+
+func main() {
+	fmt.Printf("PIM hash map, %d clients, 90%% reads, %d keys\n\n", clients, keys)
+	fmt.Println("vaults   PIM map      sharded CPU map   speedup")
+	for _, k := range []int{1, 2, 4, 8, 16} {
+		pim := runPIM(k)
+		cpu := runCPU(k)
+		fmt.Printf("%6d   %-12s %-17s %.2f×\n", k,
+			model.FormatOps(pim), model.FormatOps(cpu), pim/cpu)
+	}
+	fmt.Println("\nthroughput scales with vaults until the clients' message round trips saturate")
+}
+
+func workload(seed int64) func(uint64) pimhash.Op {
+	rng := rand.New(rand.NewSource(seed))
+	return func(uint64) pimhash.Op {
+		k := rng.Int63n(keys)
+		if rng.Intn(10) == 0 {
+			return pimhash.Op{Kind: pimhash.MsgPut, Key: k, Val: k}
+		}
+		return pimhash.Op{Kind: pimhash.MsgGet, Key: k}
+	}
+}
+
+func preload() map[int64]int64 {
+	kv := make(map[int64]int64, keys)
+	for k := int64(0); k < keys; k++ {
+		kv[k] = k
+	}
+	return kv
+}
+
+func runPIM(k int) float64 {
+	e := sim.NewEngine(sim.ConfigFromParams(model.DefaultParams()))
+	m := pimhash.New(e, k)
+	m.Preload(preload())
+	var cls []*sim.Client
+	for i := 0; i < clients; i++ {
+		cls = append(cls, m.NewClient(workload(int64(i))))
+	}
+	meter := &sim.Meter{Engine: e, Clients: cls}
+	_, ops := meter.Run(200*sim.Microsecond, 2*sim.Millisecond)
+	return ops
+}
+
+func runCPU(shards int) float64 {
+	e := sim.NewEngine(sim.ConfigFromParams(model.DefaultParams()))
+	gens := make([]func(uint64) pimhash.Op, clients)
+	for i := range gens {
+		gens[i] = workload(int64(100 + i))
+	}
+	base := pimhash.NewSimShardedCPU(e, clients, shards, func(cpu int, seq uint64) pimhash.Op {
+		return gens[cpu](seq)
+	})
+	base.Preload(preload())
+	_, ops := sim.Measure(e, func() {}, base.Ops(), 200*sim.Microsecond, 2*sim.Millisecond)
+	return ops
+}

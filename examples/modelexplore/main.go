@@ -1,0 +1,64 @@
+// modelexplore: sweep the analytical model's parameters and print the
+// crossover points the paper states in Sections 4 and 5 — when does a
+// PIM data structure beat the best CPU-side concurrent data structure?
+//
+// Run with:
+//
+//	go run ./examples/modelexplore
+package main
+
+import (
+	"fmt"
+
+	"pimds/internal/model"
+)
+
+func main() {
+	fmt.Println("== linked-list (Table 1): minimum r1 for the PIM list with combining to win ==")
+	for _, n := range []int{100, 1000, 10000} {
+		for _, p := range []int{1, 8, 28} {
+			c := model.ListConfig{N: n, P: p}
+			fmt.Printf("  n=%-6d p=%-3d  r1 > %.3f\n", n, p, model.MinR1ForPIMListWin(c))
+		}
+	}
+	fmt.Println("  (always below 2: the paper's \"r1 ≥ 2 suffices\")")
+	fmt.Println()
+
+	fmt.Println("== naive PIM list: last thread count at which it still wins ==")
+	for _, r1 := range []float64{1.5, 2, 3, 4} {
+		pr := model.DefaultParams()
+		pr.R1 = r1
+		fmt.Printf("  r1=%-4v  wins up to p = %d\n", r1, model.MaxThreadsNaivePIMListWins(pr))
+	}
+	fmt.Println()
+
+	fmt.Println("== skip-list (Table 2): minimum partitions k to beat p lock-free threads ==")
+	pr := model.DefaultParams()
+	for _, p := range []int{8, 16, 28, 56} {
+		sc := model.SkipConfig{N: 1 << 16, P: p}
+		fmt.Printf("  p=%-3d  k ≥ %-3d (p/r1 = %.1f)\n", p, model.MinKForPIMSkipWin(pr, sc), float64(p)/pr.R1)
+	}
+	fmt.Println()
+
+	fmt.Println("== FIFO queue (§5.2): PIM speedups across r1 (r2 = r1, r3 = 1) ==")
+	for _, r1 := range []float64{1, 2, 3, 4, 6} {
+		p := model.Params{Lcpu: model.DefaultLcpu, R1: r1, R2: r1, R3: 1}
+		fmt.Printf("  r1=%-3v  PIM/FC = %.2f  PIM/F&A = %.2f  wins: %v\n",
+			r1, model.PIMQueueVsFCSpeedup(p), model.PIMQueueVsFAASpeedup(p), model.PIMQueueWins(p))
+	}
+	fmt.Println()
+
+	fmt.Println("== throughput tables at the paper's parameters ==")
+	pr = model.DefaultParams()
+	for _, row := range model.Table1(pr, model.ListConfig{N: 1000, P: 28}) {
+		fmt.Printf("  %-46s %s\n", row.Algorithm, model.FormatOps(row.OpsPerSec))
+	}
+	fmt.Println()
+	for _, row := range model.Table2(pr, model.SkipConfig{N: 1 << 16, P: 28, K: 16}) {
+		fmt.Printf("  %-46s %s\n", row.Algorithm, model.FormatOps(row.OpsPerSec))
+	}
+	fmt.Println()
+	for _, row := range model.QueueTable(pr, model.QueueConfig{P: 28}) {
+		fmt.Printf("  %-46s %s\n", row.Algorithm, model.FormatOps(row.OpsPerSec))
+	}
+}

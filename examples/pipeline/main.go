@@ -1,0 +1,79 @@
+// pipeline: a producer/consumer stage pipeline on the PIM-managed FIFO
+// queue (Section 5), compared against the flat-combining and F&A queue
+// bounds under the same latency model. It also shows the pipelining
+// optimization's effect and the segment handoffs that keep the two
+// queue ends on different PIM cores.
+//
+// Run with:
+//
+//	go run ./examples/pipeline
+package main
+
+import (
+	"fmt"
+
+	"pimds/internal/core/pimqueue"
+	"pimds/internal/harness"
+	"pimds/internal/model"
+	"pimds/internal/sim"
+)
+
+func main() {
+	params := model.DefaultParams()
+	opts := harness.DefaultSimOpts()
+
+	fmt.Println("producer/consumer pipeline: 8 producers enqueue work items, 8 consumers dequeue")
+	fmt.Println()
+
+	// The PIM queue with realistic segment churn: a small threshold
+	// forces regular handoffs between the 4 participating cores.
+	e := sim.NewEngine(sim.ConfigFromParams(params))
+	q := pimqueue.New(e, 4, 4096)
+	var producers, consumers []*pimqueue.Client
+	var cpus []*sim.CPU
+	for i := 0; i < 8; i++ {
+		p := q.NewClient(pimqueue.Enqueuer)
+		c := q.NewClient(pimqueue.Dequeuer)
+		producers = append(producers, p)
+		consumers = append(consumers, c)
+		cpus = append(cpus, p.CPU(), c.CPU())
+	}
+	// Producers start first so a backlog builds: the queue grows past
+	// the threshold, segments spread across cores, and the two ends
+	// end up on different PIM cores (the long-queue regime).
+	start := func() {
+		for _, cl := range producers {
+			cl.Start()
+		}
+		e.After(200*sim.Microsecond, func() {
+			for _, cl := range consumers {
+				cl.Start()
+			}
+		})
+	}
+	_, pimOps := sim.Measure(e, start, sim.OpsOfCPUs(cpus), opts.Warmup, opts.Measure)
+
+	var handoffs, segs uint64
+	for _, qc := range q.Cores() {
+		handoffs += qc.Handoffs
+		segs += qc.SegsMade
+	}
+	fmt.Printf("PIM queue (4 cores, threshold 4096): %s  [%d handoffs, %d segments created]\n",
+		model.FormatOps(pimOps), handoffs, segs)
+
+	// The Section 5.2 baselines under the same model.
+	fcOps := harness.SimQueueFC(opts, 16, false)   // both combiner sides
+	faaOps := harness.SimQueueFAA(opts, 16, false) // both ticket counters
+	fmt.Printf("flat-combining queue bound:         %s\n", model.FormatOps(fcOps))
+	fmt.Printf("F&A queue bound:                    %s\n", model.FormatOps(faaOps))
+	fmt.Println()
+
+	// Pipelining ablation on a pure dequeue-side measurement.
+	on := harness.SimPIMQueue(opts, harness.QueueRegime{
+		Cores: 2, Threshold: 1 << 30, Pipelining: true, Dequeuers: 12, PrefillLong: true})
+	off := harness.SimPIMQueue(opts, harness.QueueRegime{
+		Cores: 2, Threshold: 1 << 30, Pipelining: false, Dequeuers: 12, PrefillLong: true})
+	fmt.Printf("pipelining on:  %s (≈ 1/Lpim)\n", model.FormatOps(on))
+	fmt.Printf("pipelining off: %s (≈ 1/(Lpim+Lmessage))\n", model.FormatOps(off))
+	fmt.Printf("pipelining wins %.1f× — hiding the reply transfer behind the next request (Fig. 6)\n", on/off)
+}

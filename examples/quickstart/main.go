@@ -1,0 +1,55 @@
+// Quickstart: build a simulated PIM system, run a partitioned
+// PIM-managed skip-list under a uniform workload, and compare its
+// throughput with the lock-free skip-list baseline — the headline
+// comparison of the paper (Figure 4) in ~60 lines.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"pimds/internal/harness"
+	"pimds/internal/model"
+)
+
+func main() {
+	// The paper's parameters: a PIM core reaches its vault 3× faster
+	// than a CPU reaches memory (r1 = 3).
+	params := model.DefaultParams()
+	fmt.Printf("parameters: Lcpu=%v, r1=%v (Lpim=%v), Lmessage=%v\n\n",
+		params.Lcpu, params.R1, params.Lpim(), params.Lmessage())
+
+	const (
+		keySpace   = 1 << 14 // 16K keys, skip-list holds ~8K
+		partitions = 8       // PIM vaults
+		threads    = 16      // client CPUs
+	)
+
+	opts := harness.DefaultSimOpts()
+	opts.Params = params
+
+	// The PIM-managed skip-list: 8 vaults, each owning 1/8 of the key
+	// space, with CPU clients routing requests by a cached sentinel
+	// directory (Section 4.2).
+	pimOps, beta := harness.SimSkipPIM(opts, partitions, threads, keySpace)
+
+	// The strongest CPU-side baseline: the lock-free skip-list, all 16
+	// threads in parallel (Table 2 row 1).
+	lockFreeOps := harness.SimSkipLockFree(opts, threads, keySpace, false)
+
+	fmt.Printf("PIM skip-list (k=%d):   %s  (measured β = %.1f nodes/op)\n",
+		partitions, model.FormatOps(pimOps), beta)
+	fmt.Printf("lock-free skip-list:   %s  (p = %d threads)\n",
+		model.FormatOps(lockFreeOps), threads)
+	fmt.Printf("speedup:               %.2f×\n\n", pimOps/lockFreeOps)
+
+	// The model's prediction for the same configuration.
+	sc := model.SkipConfig{N: keySpace / 2, P: threads, K: partitions, BetaOverride: beta}
+	fmt.Printf("model predicts: PIM %s vs lock-free %s (min k to win: %d)\n",
+		model.FormatOps(model.SkipPIMPartitioned(params, sc)),
+		model.FormatOps(model.SkipLockFree(params, sc)),
+		model.MinKForPIMSkipWin(params, sc))
+}

@@ -1,0 +1,3 @@
+module pimds
+
+go 1.22

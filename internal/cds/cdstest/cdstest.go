@@ -1,0 +1,276 @@
+// Package cdstest provides shared correctness harnesses for the
+// concurrent data structures in internal/cds: a conservation-law stress
+// test for sets and a FIFO/conservation stress test for queues. These
+// checks catch lost updates, duplicated elements and reordering without
+// needing a full linearizability checker.
+package cdstest
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// Set is the minimal concurrent set interface under test. Handles are
+// per-goroutine (flat-combining structures need a publication record
+// per thread); structures without per-thread state return themselves.
+type Set interface {
+	Contains(k int64) bool
+	Add(k int64) bool
+	Remove(k int64) bool
+}
+
+// SetStress drives goroutines×opsPerG random operations on keys in
+// [0, keySpace) and then checks the conservation law: for every key,
+// successfulAdds − successfulRemoves must be 1 if the key is in the
+// final set and 0 otherwise. Any lost or duplicated update breaks it.
+//
+// newHandle is called once per goroutine; finalKeys must return the
+// set's sorted contents at quiescence.
+func SetStress(t *testing.T, newHandle func() Set, finalKeys func() []int64,
+	keySpace int64, goroutines, opsPerG int, seed int64) {
+	t.Helper()
+
+	adds := make([]atomic.Int64, keySpace)
+	removes := make([]atomic.Int64, keySpace)
+
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			h := newHandle()
+			rng := rand.New(rand.NewSource(seed + int64(g)))
+			for i := 0; i < opsPerG; i++ {
+				k := rng.Int63n(keySpace)
+				switch rng.Intn(10) {
+				case 0, 1, 2, 3: // 40% add
+					if h.Add(k) {
+						adds[k].Add(1)
+					}
+				case 4, 5, 6, 7: // 40% remove
+					if h.Remove(k) {
+						removes[k].Add(1)
+					}
+				default: // 20% contains
+					h.Contains(k)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	final := finalKeys()
+	if !sort.SliceIsSorted(final, func(i, j int) bool { return final[i] < final[j] }) {
+		t.Fatalf("final keys not sorted: %v", final)
+	}
+	inFinal := make(map[int64]int, len(final))
+	for _, k := range final {
+		inFinal[k]++
+		if inFinal[k] > 1 {
+			t.Fatalf("duplicate key %d in final set", k)
+		}
+	}
+	for k := int64(0); k < keySpace; k++ {
+		want := int64(inFinal[k])
+		if got := adds[k].Load() - removes[k].Load(); got != want {
+			t.Errorf("key %d: adds-removes = %d, want %d (in final set: %v)",
+				k, got, want, want == 1)
+		}
+	}
+}
+
+// SetSequential checks a set implementation against map semantics on a
+// deterministic random op sequence.
+func SetSequential(t *testing.T, s Set, keySpace int64, ops int, seed int64) {
+	t.Helper()
+	ref := make(map[int64]bool)
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < ops; i++ {
+		k := rng.Int63n(keySpace)
+		switch rng.Intn(3) {
+		case 0:
+			if got, want := s.Add(k), !ref[k]; got != want {
+				t.Fatalf("op %d: Add(%d) = %v, want %v", i, k, got, want)
+			}
+			ref[k] = true
+		case 1:
+			if got, want := s.Remove(k), ref[k]; got != want {
+				t.Fatalf("op %d: Remove(%d) = %v, want %v", i, k, got, want)
+			}
+			delete(ref, k)
+		default:
+			if got, want := s.Contains(k), ref[k]; got != want {
+				t.Fatalf("op %d: Contains(%d) = %v, want %v", i, k, got, want)
+			}
+		}
+	}
+}
+
+// Queue is the minimal concurrent queue interface under test.
+type Queue interface {
+	Enqueue(v int64)
+	Dequeue() (int64, bool)
+}
+
+// QueueStress drives producers and consumers concurrently and checks:
+// every enqueued value is dequeued exactly once (after draining), and
+// values from the same producer are dequeued in their enqueue order.
+// Values encode (producer, sequence) as producer*2^32 + seq.
+func QueueStress(t *testing.T, newHandle func() Queue, producers, consumers, perProducer int) {
+	t.Helper()
+
+	total := producers * perProducer
+	dequeued := make([][]int64, consumers)
+	var consumed atomic.Int64
+
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			h := newHandle()
+			for i := 0; i < perProducer; i++ {
+				h.Enqueue(int64(p)<<32 | int64(i))
+			}
+		}(p)
+	}
+	for c := 0; c < consumers; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			h := newHandle()
+			for consumed.Load() < int64(total) {
+				if v, ok := h.Dequeue(); ok {
+					dequeued[c] = append(dequeued[c], v)
+					consumed.Add(1)
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+
+	// Exactly-once delivery.
+	seen := make(map[int64]bool, total)
+	for _, vals := range dequeued {
+		for _, v := range vals {
+			if seen[v] {
+				t.Fatalf("value %d dequeued twice", v)
+			}
+			seen[v] = true
+		}
+	}
+	if len(seen) != total {
+		t.Fatalf("dequeued %d distinct values, want %d", len(seen), total)
+	}
+	// Per-producer FIFO within each consumer: a single consumer must
+	// see any one producer's values in increasing sequence order.
+	for c, vals := range dequeued {
+		last := make(map[int64]int64)
+		for _, v := range vals {
+			p, seq := v>>32, v&0xffffffff
+			if prev, ok := last[p]; ok && seq < prev {
+				t.Fatalf("consumer %d saw producer %d out of order: %d after %d", c, p, seq, prev)
+			}
+			last[p] = seq
+		}
+	}
+}
+
+// QueueSequential checks FIFO semantics single-threaded.
+func QueueSequential(t *testing.T, q Queue, n int) {
+	t.Helper()
+	if _, ok := q.Dequeue(); ok {
+		t.Fatal("Dequeue on empty queue reported ok")
+	}
+	for i := 0; i < n; i++ {
+		q.Enqueue(int64(i * 3))
+	}
+	for i := 0; i < n; i++ {
+		v, ok := q.Dequeue()
+		if !ok || v != int64(i*3) {
+			t.Fatalf("Dequeue #%d = (%d, %v), want (%d, true)", i, v, ok, i*3)
+		}
+	}
+	if _, ok := q.Dequeue(); ok {
+		t.Fatal("Dequeue on drained queue reported ok")
+	}
+}
+
+// Stack is the minimal concurrent stack interface under test.
+type Stack interface {
+	Push(v int64)
+	Pop() (int64, bool)
+}
+
+// StackStress drives producers and consumers concurrently and checks
+// exactly-once delivery (every pushed value popped or resident exactly
+// once after a final drain).
+func StackStress(t *testing.T, newHandle func() Stack, pushers, poppers, perPusher int) {
+	t.Helper()
+
+	total := pushers * perPusher
+	popped := make([][]int64, poppers)
+	var consumed atomic.Int64
+
+	var wg sync.WaitGroup
+	for p := 0; p < pushers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			h := newHandle()
+			for i := 0; i < perPusher; i++ {
+				h.Push(int64(p)<<32 | int64(i))
+			}
+		}(p)
+	}
+	for c := 0; c < poppers; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			h := newHandle()
+			for consumed.Load() < int64(total) {
+				if v, ok := h.Pop(); ok {
+					popped[c] = append(popped[c], v)
+					consumed.Add(1)
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+
+	seen := make(map[int64]bool, total)
+	for _, vals := range popped {
+		for _, v := range vals {
+			if seen[v] {
+				t.Fatalf("value %d popped twice", v)
+			}
+			seen[v] = true
+		}
+	}
+	if len(seen) != total {
+		t.Fatalf("popped %d distinct values, want %d", len(seen), total)
+	}
+}
+
+// StackSequential checks LIFO semantics single-threaded.
+func StackSequential(t *testing.T, s Stack, n int) {
+	t.Helper()
+	if _, ok := s.Pop(); ok {
+		t.Fatal("pop on empty stack reported ok")
+	}
+	for i := 0; i < n; i++ {
+		s.Push(int64(i * 7))
+	}
+	for i := n - 1; i >= 0; i-- {
+		v, ok := s.Pop()
+		if !ok || v != int64(i*7) {
+			t.Fatalf("pop = (%d,%v), want (%d,true)", v, ok, i*7)
+		}
+	}
+	if _, ok := s.Pop(); ok {
+		t.Fatal("pop on drained stack reported ok")
+	}
+}

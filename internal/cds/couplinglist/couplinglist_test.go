@@ -1,0 +1,30 @@
+package couplinglist
+
+import (
+	"testing"
+
+	"pimds/internal/cds/cdstest"
+)
+
+func TestSequentialSemantics(t *testing.T) {
+	cdstest.SetSequential(t, New(), 64, 4000, 23)
+}
+
+func TestConcurrentConservation(t *testing.T) {
+	l := New()
+	cdstest.SetStress(t,
+		func() cdstest.Set { return l },
+		func() []int64 { return l.Keys() },
+		128, 8, 2000, 707)
+}
+
+func TestBoundaryKeys(t *testing.T) {
+	l := New()
+	lo, hi := int64(-1<<63+1), int64(1<<63-2)
+	if !l.Add(lo) || !l.Add(hi) || !l.Contains(lo) || !l.Contains(hi) {
+		t.Error("boundary keys broken")
+	}
+	if !l.Remove(lo) || !l.Remove(hi) {
+		t.Error("boundary removes broken")
+	}
+}

@@ -1,0 +1,158 @@
+// Package faaqueue implements a fetch-and-add-based FIFO queue in the
+// style of Morrison and Afek's LCRQ (PPoPP 2013), the paper's fastest
+// CPU-side queue baseline ("F&A queue [41]").
+//
+// Substitution note (see DESIGN.md): LCRQ proper needs a double-width
+// CAS, which Go does not expose. This queue keeps LCRQ's defining
+// performance property — each operation performs exactly one F&A on a
+// shared head or tail counter, so p concurrent operations serialize on
+// that counter — which is precisely what the paper's model charges
+// (throughput ≤ 1/Latomic). Tickets index into an unbounded array of
+// cells realized as a linked list of fixed-size segments.
+package faaqueue
+
+import (
+	"sync/atomic"
+)
+
+// segSize is the number of cells per segment; a power of two so the
+// ticket→cell mapping is a shift and mask.
+const segSize = 1 << 10
+
+// Cell states: a cell starts empty; an enqueuer CASes empty→value; a
+// dequeuer that finds its cell still empty after a bounded wait CASes
+// empty→poisoned, forcing the (slow) enqueuer to retry with a fresh
+// ticket.
+const (
+	cellEmpty    uint64 = 0
+	cellPoisoned uint64 = 1
+	valueOffset  uint64 = 2 // stored value = v + valueOffset
+)
+
+type segment struct {
+	id    uint64 // segment index: covers tickets [id*segSize, (id+1)*segSize)
+	cells [segSize]atomic.Uint64
+	next  atomic.Pointer[segment]
+}
+
+// Queue is a FIFO queue of int64 values (v must satisfy v+2 ≥ 2 when
+// encoded, i.e. v ≥ 0; see Enqueue). Create one with New. All methods
+// are safe for concurrent use.
+type Queue struct {
+	head atomic.Uint64 // next ticket to dequeue
+	tail atomic.Uint64 // next ticket to enqueue
+
+	// root is the immutable first segment: the fallback start for
+	// lookups whose ticket is older than a hint.
+	root *segment
+
+	// headSeg/tailSeg are hints that usually point at (or before) the
+	// segment containing the respective ticket; they only move
+	// forward. A hint can overtake a slow thread's ticket — lookups
+	// must fall back to root in that case, never trust the hint
+	// blindly (a hint-ahead-of-ticket lookup once caused a livelock:
+	// the thread read a poisoned cell in a too-new segment forever).
+	headSeg atomic.Pointer[segment]
+	tailSeg atomic.Pointer[segment]
+}
+
+// New returns an empty queue.
+func New() *Queue {
+	q := &Queue{root: &segment{}}
+	q.headSeg.Store(q.root)
+	q.tailSeg.Store(q.root)
+	return q
+}
+
+// findSegment walks (and extends) the segment list to the segment with
+// the given id, starting from hint when it has not yet passed id and
+// from the root otherwise, then advances the hint.
+func (q *Queue) findSegment(hint *atomic.Pointer[segment], id uint64) *segment {
+	s := hint.Load()
+	if s.id > id {
+		s = q.root
+	}
+	for s.id < id {
+		next := s.next.Load()
+		if next == nil {
+			next = &segment{id: s.id + 1}
+			if !s.next.CompareAndSwap(nil, next) {
+				next = s.next.Load()
+			}
+		}
+		s = next
+	}
+	// Advance the hint; a failed CAS just means someone else advanced
+	// it further.
+	if h := hint.Load(); h.id < s.id {
+		hint.CompareAndSwap(h, s)
+	}
+	return s
+}
+
+// Enqueue appends v (which must be non-negative; the two low encodings
+// are reserved for cell states) to the queue.
+func (q *Queue) Enqueue(v int64) {
+	if v < 0 {
+		panic("faaqueue: negative values are reserved")
+	}
+	enc := uint64(v) + valueOffset
+	for {
+		t := q.tail.Add(1) - 1 // F&A: the single contended atomic
+		s := q.findSegment(&q.tailSeg, t/segSize)
+		cell := &s.cells[t%segSize]
+		if cell.CompareAndSwap(cellEmpty, enc) {
+			return
+		}
+		// Cell was poisoned by an impatient dequeuer; retry with a
+		// fresh ticket.
+	}
+}
+
+// maxSpin bounds how long a dequeuer waits for a slow enqueuer before
+// poisoning the cell.
+const maxSpin = 128
+
+// Dequeue removes and returns the oldest value; ok is false if the
+// queue was observed empty.
+func (q *Queue) Dequeue() (v int64, ok bool) {
+	for {
+		// Standard emptiness check: if head has caught up with
+		// tail, the queue was empty at the moment of the loads.
+		if q.head.Load() >= q.tail.Load() {
+			return 0, false
+		}
+		h := q.head.Add(1) - 1 // F&A: the single contended atomic
+		s := q.findSegment(&q.headSeg, h/segSize)
+		cell := &s.cells[h%segSize]
+		for spin := 0; ; spin++ {
+			val := cell.Load()
+			if val >= valueOffset {
+				return int64(val - valueOffset), true
+			}
+			if val == cellPoisoned {
+				// Terminal: no value will ever land here. Should be
+				// unreachable (only this ticket's owner poisons this
+				// cell), but retrying beats spinning forever if the
+				// invariant is ever broken.
+				break
+			}
+			if spin >= maxSpin {
+				if cell.CompareAndSwap(cellEmpty, cellPoisoned) {
+					// The matching enqueuer will retry; so do we.
+					break
+				}
+				// CAS failed ⇒ the value just arrived.
+			}
+		}
+	}
+}
+
+// Len returns an instantaneous estimate of the queue length.
+func (q *Queue) Len() int {
+	h, t := q.head.Load(), q.tail.Load()
+	if t <= h {
+		return 0
+	}
+	return int(t - h)
+}

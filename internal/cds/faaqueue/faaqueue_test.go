@@ -1,0 +1,79 @@
+package faaqueue
+
+import (
+	"testing"
+
+	"pimds/internal/cds/cdstest"
+)
+
+func TestSequentialFIFO(t *testing.T) {
+	cdstest.QueueSequential(t, New(), 5000)
+}
+
+func TestConcurrentConservation(t *testing.T) {
+	q := New()
+	cdstest.QueueStress(t,
+		func() cdstest.Queue { return q },
+		4, 4, 5000)
+}
+
+func TestCrossesSegmentBoundaries(t *testing.T) {
+	q := New()
+	const n = 3 * segSize
+	for i := int64(0); i < n; i++ {
+		q.Enqueue(i)
+	}
+	if q.Len() != n {
+		t.Fatalf("len = %d, want %d", q.Len(), n)
+	}
+	for i := int64(0); i < n; i++ {
+		v, ok := q.Dequeue()
+		if !ok || v != i {
+			t.Fatalf("Dequeue #%d = (%d,%v)", i, v, ok)
+		}
+	}
+	if q.Len() != 0 {
+		t.Errorf("len = %d after drain, want 0", q.Len())
+	}
+}
+
+func TestNegativeValuePanics(t *testing.T) {
+	q := New()
+	defer func() {
+		if recover() == nil {
+			t.Error("negative enqueue should panic")
+		}
+	}()
+	q.Enqueue(-1)
+}
+
+func TestFindSegmentAdvancesHint(t *testing.T) {
+	q := New()
+	s := q.findSegment(&q.tailSeg, 5)
+	if s.id != 5 {
+		t.Fatalf("segment id = %d, want 5", s.id)
+	}
+	if q.tailSeg.Load().id != 5 {
+		t.Errorf("hint id = %d, want 5", q.tailSeg.Load().id)
+	}
+}
+
+// TestFindSegmentStaleTicket is the regression test for the hint
+// overtaking a slow thread's ticket: a lookup older than the hint must
+// fall back to the root and return the *correct* segment, not the
+// hint's.
+func TestFindSegmentStaleTicket(t *testing.T) {
+	q := New()
+	if s := q.findSegment(&q.tailSeg, 7); s.id != 7 {
+		t.Fatalf("advance: id = %d, want 7", s.id)
+	}
+	// The hint now points at segment 7; a stale ticket in segment 2
+	// must still resolve correctly.
+	if s := q.findSegment(&q.tailSeg, 2); s.id != 2 {
+		t.Fatalf("stale lookup: id = %d, want 2", s.id)
+	}
+	// And the hint must not have moved backwards.
+	if q.tailSeg.Load().id != 7 {
+		t.Errorf("hint id = %d, want 7", q.tailSeg.Load().id)
+	}
+}

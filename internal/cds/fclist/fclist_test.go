@@ -1,0 +1,54 @@
+package fclist
+
+import (
+	"testing"
+
+	"pimds/internal/cds/cdstest"
+)
+
+func TestSequentialSemanticsBothVariants(t *testing.T) {
+	for _, combining := range []bool{false, true} {
+		l := New(combining)
+		cdstest.SetSequential(t, l.NewHandle(), 64, 4000, 17)
+	}
+}
+
+func TestConcurrentConservationNoCombining(t *testing.T) {
+	l := New(false)
+	cdstest.SetStress(t,
+		func() cdstest.Set { return l.NewHandle() },
+		func() []int64 { return l.Keys() },
+		128, 8, 2500, 303)
+}
+
+func TestConcurrentConservationCombining(t *testing.T) {
+	l := New(true)
+	cdstest.SetStress(t,
+		func() cdstest.Set { return l.NewHandle() },
+		func() []int64 { return l.Keys() },
+		128, 8, 2500, 404)
+}
+
+func TestCombiningFlag(t *testing.T) {
+	if New(true).Combining() != true || New(false).Combining() != false {
+		t.Error("Combining flag not preserved")
+	}
+}
+
+func TestStatsCount(t *testing.T) {
+	l := New(true)
+	h := l.NewHandle()
+	for i := int64(0); i < 100; i++ {
+		h.Add(i)
+	}
+	combines, served := l.Stats()
+	if served != 100 {
+		t.Errorf("served = %d, want 100", served)
+	}
+	if combines == 0 {
+		t.Error("no combiner passes recorded")
+	}
+	if l.Len() != 100 {
+		t.Errorf("len = %d, want 100", l.Len())
+	}
+}

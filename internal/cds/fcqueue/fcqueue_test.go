@@ -1,0 +1,60 @@
+package fcqueue
+
+import (
+	"testing"
+
+	"pimds/internal/cds/cdstest"
+)
+
+func TestSequentialFIFO(t *testing.T) {
+	q := New()
+	cdstest.QueueSequential(t, q.NewHandle(), 1000)
+}
+
+func TestConcurrentConservation(t *testing.T) {
+	q := New()
+	cdstest.QueueStress(t,
+		func() cdstest.Queue { return q.NewHandle() },
+		4, 4, 5000)
+}
+
+func TestInterleavedEnqDeq(t *testing.T) {
+	q := New()
+	h := q.NewHandle()
+	for i := int64(0); i < 100; i++ {
+		h.Enqueue(i)
+		if i%2 == 1 {
+			v, ok := h.Dequeue()
+			if !ok || v != i/2 {
+				t.Fatalf("Dequeue = (%d,%v), want (%d,true)", v, ok, i/2)
+			}
+		}
+	}
+	if q.Len() != 50 {
+		t.Errorf("len = %d, want 50", q.Len())
+	}
+	drained := q.Drain()
+	if len(drained) != 50 {
+		t.Fatalf("drained %d values, want 50", len(drained))
+	}
+	for i, v := range drained {
+		if v != int64(50+i) {
+			t.Fatalf("drain[%d] = %d, want %d", i, v, 50+i)
+		}
+	}
+}
+
+func TestEmptyDequeue(t *testing.T) {
+	q := New()
+	h := q.NewHandle()
+	if _, ok := h.Dequeue(); ok {
+		t.Error("dequeue on empty queue reported ok")
+	}
+	h.Enqueue(42)
+	if v, ok := h.Dequeue(); !ok || v != 42 {
+		t.Errorf("got (%d,%v), want (42,true)", v, ok)
+	}
+	if _, ok := h.Dequeue(); ok {
+		t.Error("dequeue after drain reported ok")
+	}
+}

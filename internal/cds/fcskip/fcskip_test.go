@@ -1,0 +1,82 @@
+package fcskip
+
+import (
+	"testing"
+
+	"pimds/internal/cds/cdstest"
+)
+
+func TestSequentialSemantics(t *testing.T) {
+	for _, k := range []int{1, 4, 8} {
+		l := New(64, k, 5)
+		cdstest.SetSequential(t, l.NewHandle(), 64, 4000, int64(19+k))
+	}
+}
+
+func TestConcurrentConservation(t *testing.T) {
+	for _, k := range []int{1, 4} {
+		l := New(128, k, 6)
+		cdstest.SetStress(t,
+			func() cdstest.Set { return l.NewHandle() },
+			func() []int64 { return l.Keys() },
+			128, 8, 2500, int64(505+k))
+	}
+}
+
+func TestPartitionRouting(t *testing.T) {
+	l := New(100, 4, 7)
+	if l.Partitions() != 4 {
+		t.Fatalf("Partitions = %d, want 4", l.Partitions())
+	}
+	// Partition i covers [25i, 25(i+1)).
+	cases := map[int64]int{0: 0, 24: 0, 25: 1, 49: 1, 50: 2, 75: 3, 99: 3}
+	for k, want := range cases {
+		if got := l.partitionFor(k); got != want {
+			t.Errorf("partitionFor(%d) = %d, want %d", k, got, want)
+		}
+	}
+}
+
+func TestKeysSortedAcrossPartitions(t *testing.T) {
+	l := New(1000, 8, 8)
+	h := l.NewHandle()
+	for _, k := range []int64{999, 0, 500, 250, 750, 124, 126} {
+		h.Add(k)
+	}
+	keys := l.Keys()
+	for i := 1; i < len(keys); i++ {
+		if keys[i-1] >= keys[i] {
+			t.Fatalf("keys not sorted: %v", keys)
+		}
+	}
+	if l.Len() != 7 {
+		t.Errorf("len = %d, want 7", l.Len())
+	}
+}
+
+func TestOutOfRangeKeyPanics(t *testing.T) {
+	l := New(10, 2, 9)
+	h := l.NewHandle()
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range key should panic")
+		}
+	}()
+	h.Add(10)
+}
+
+func TestBadConstructionPanics(t *testing.T) {
+	for _, c := range []struct {
+		space int64
+		k     int
+	}{{10, 0}, {2, 4}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%d, %d) should panic", c.space, c.k)
+				}
+			}()
+			New(c.space, c.k, 1)
+		}()
+	}
+}

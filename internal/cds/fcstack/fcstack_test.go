@@ -1,0 +1,46 @@
+package fcstack
+
+import (
+	"testing"
+
+	"pimds/internal/cds/cdstest"
+)
+
+func TestSequentialLIFOBothVariants(t *testing.T) {
+	for _, eliminate := range []bool{false, true} {
+		s := New(eliminate)
+		cdstest.StackSequential(t, s.NewHandle(), 2000)
+	}
+}
+
+func TestConcurrentConservation(t *testing.T) {
+	for _, eliminate := range []bool{false, true} {
+		s := New(eliminate)
+		cdstest.StackStress(t,
+			func() cdstest.Stack { return s.NewHandle() },
+			4, 4, 4000)
+	}
+}
+
+// TestEliminationHappens: with concurrent pushers and poppers, some
+// pairs should cancel without touching the stack.
+func TestEliminationHappens(t *testing.T) {
+	s := New(true)
+	cdstest.StackStress(t,
+		func() cdstest.Stack { return s.NewHandle() },
+		4, 4, 4000)
+	if s.Eliminated == 0 {
+		t.Log("note: no eliminations observed (legal, but unusual under concurrency)")
+	}
+}
+
+func TestLen(t *testing.T) {
+	s := New(false)
+	h := s.NewHandle()
+	for i := int64(0); i < 7; i++ {
+		h.Push(i)
+	}
+	if s.Len() != 7 {
+		t.Errorf("len = %d, want 7", s.Len())
+	}
+}

@@ -1,0 +1,94 @@
+package lazylist
+
+import (
+	"testing"
+
+	"pimds/internal/cds/cdstest"
+)
+
+func TestSequentialSemantics(t *testing.T) {
+	cdstest.SetSequential(t, New(), 64, 4000, 11)
+}
+
+func TestBasic(t *testing.T) {
+	l := New()
+	if !l.Add(1) || !l.Add(3) || !l.Add(2) {
+		t.Fatal("adds failed")
+	}
+	if l.Add(2) {
+		t.Error("duplicate add succeeded")
+	}
+	got := l.Keys()
+	want := []int64{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("keys = %v, want %v", got, want)
+		}
+	}
+	if l.Len() != 3 {
+		t.Errorf("len = %d, want 3", l.Len())
+	}
+	if !l.Remove(2) || l.Contains(2) {
+		t.Error("remove broken")
+	}
+}
+
+func TestSentinelBoundaries(t *testing.T) {
+	l := New()
+	// Keys adjacent to the sentinels.
+	lo, hi := int64(-1<<63+1), int64(1<<63-2)
+	if !l.Add(lo) || !l.Add(hi) {
+		t.Fatal("boundary adds failed")
+	}
+	if !l.Contains(lo) || !l.Contains(hi) {
+		t.Error("boundary keys missing")
+	}
+	if !l.Remove(lo) || !l.Remove(hi) {
+		t.Error("boundary removes failed")
+	}
+}
+
+func TestConcurrentConservation(t *testing.T) {
+	l := New()
+	cdstest.SetStress(t,
+		func() cdstest.Set { return l },
+		func() []int64 { return l.Keys() },
+		128, 8, 3000, 101)
+}
+
+// TestConcurrentDisjointRanges: goroutines working on disjoint ranges
+// must not interfere at all.
+func TestConcurrentDisjointRanges(t *testing.T) {
+	l := New()
+	done := make(chan bool, 4)
+	for g := 0; g < 4; g++ {
+		go func(g int) {
+			base := int64(g * 1000)
+			okAll := true
+			for i := int64(0); i < 200; i++ {
+				okAll = okAll && l.Add(base+i)
+			}
+			for i := int64(0); i < 200; i += 2 {
+				okAll = okAll && l.Remove(base+i)
+			}
+			done <- okAll
+		}(g)
+	}
+	for g := 0; g < 4; g++ {
+		if !<-done {
+			t.Fatal("operation on private range failed")
+		}
+	}
+	if got := l.Len(); got != 4*100 {
+		t.Errorf("len = %d, want 400", got)
+	}
+	for g := 0; g < 4; g++ {
+		base := int64(g * 1000)
+		for i := int64(0); i < 200; i++ {
+			want := i%2 == 1
+			if l.Contains(base+i) != want {
+				t.Fatalf("Contains(%d) = %v, want %v", base+i, !want, want)
+			}
+		}
+	}
+}

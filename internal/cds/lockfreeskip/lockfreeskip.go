@@ -1,0 +1,229 @@
+// Package lockfreeskip implements the lock-free skip-list of Herlihy
+// and Shavit, "The Art of Multiprocessor Programming" (the paper's
+// Table 2 row 1 / Figure 4 baseline, citing [27] and Pugh [46]).
+//
+// Each next pointer is an atomic markable reference: a pointer to an
+// immutable (successor, marked) pair replaced wholesale by CAS. A node
+// is logically deleted when its bottom-level reference is marked;
+// traversals snip marked nodes as they pass.
+package lockfreeskip
+
+import (
+	"sync/atomic"
+)
+
+// maxLevel bounds tower heights; 2^20 expected keys is ample here.
+const maxLevel = 20
+
+// markable is an immutable (successor, marked) pair. CAS on the
+// containing atomic.Pointer swaps the whole pair, which is Go's
+// equivalent of Java's AtomicMarkableReference.
+type markable struct {
+	next   *node
+	marked bool
+}
+
+type node struct {
+	key  int64
+	next []atomic.Pointer[markable]
+}
+
+func newNode(key int64, height int) *node {
+	return &node{key: key, next: make([]atomic.Pointer[markable], height)}
+}
+
+// List is a lock-free skip-list set of int64 keys. Create one with
+// New. All methods are safe for concurrent use.
+type List struct {
+	head *node
+	tail *node
+	size atomic.Int64
+	rng  atomic.Uint64
+}
+
+// New returns an empty list. Tower heights are drawn from a
+// thread-safe deterministic stream seeded by seed.
+func New(seed uint64) *List {
+	head := newNode(-1<<63, maxLevel)
+	tail := newNode(1<<63-1, maxLevel)
+	for i := range head.next {
+		head.next[i].Store(&markable{next: tail})
+		tail.next[i].Store(&markable{})
+	}
+	l := &List{head: head, tail: tail}
+	l.rng.Store(seed | 1)
+	return l
+}
+
+// Len returns the number of keys (approximate under concurrency).
+func (l *List) Len() int { return int(l.size.Load()) }
+
+// randLevel draws a geometric(1/2) height from a shared splitmix64
+// stream; the single F&A keeps it thread-safe without locks.
+func (l *List) randLevel() int {
+	z := l.rng.Add(0x9e3779b97f4a7c15)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	h := 1
+	for ; z&1 == 1 && h < maxLevel; z >>= 1 {
+		h++
+	}
+	return h
+}
+
+// find locates the window for k on every level, snipping marked nodes
+// along the way, and reports whether an unmarked node with key k exists
+// at the bottom level.
+func (l *List) find(k int64, preds, succs *[maxLevel]*node) bool {
+retry:
+	for {
+		pred := l.head
+		for lvl := maxLevel - 1; lvl >= 0; lvl-- {
+			curr := pred.next[lvl].Load().next
+			for {
+				succM := curr.next[lvl].Load()
+				for succM.marked {
+					// curr is deleted at this level: snip it.
+					pm := pred.next[lvl].Load()
+					if pm.marked || pm.next != curr {
+						continue retry
+					}
+					if !pred.next[lvl].CompareAndSwap(pm, &markable{next: succM.next}) {
+						continue retry
+					}
+					curr = succM.next
+					succM = curr.next[lvl].Load()
+				}
+				if curr.key < k {
+					pred = curr
+					curr = succM.next
+				} else {
+					break
+				}
+			}
+			preds[lvl] = pred
+			succs[lvl] = curr
+		}
+		return succs[0].key == k
+	}
+}
+
+// Contains reports whether k is in the set. It is wait-free-ish: it
+// never CASes, only traverses, skipping marked nodes.
+func (l *List) Contains(k int64) bool {
+	pred := l.head
+	var curr *node
+	for lvl := maxLevel - 1; lvl >= 0; lvl-- {
+		curr = pred.next[lvl].Load().next
+		for {
+			m := curr.next[lvl].Load()
+			for m.marked {
+				curr = m.next
+				m = curr.next[lvl].Load()
+			}
+			if curr.key < k {
+				pred = curr
+				curr = m.next
+			} else {
+				break
+			}
+		}
+	}
+	return curr.key == k
+}
+
+// Add inserts k and reports whether it was absent.
+func (l *List) Add(k int64) bool {
+	var preds, succs [maxLevel]*node
+	height := l.randLevel()
+	for {
+		if l.find(k, &preds, &succs) {
+			return false
+		}
+		n := newNode(k, height)
+		for i := 0; i < height; i++ {
+			n.next[i].Store(&markable{next: succs[i]})
+		}
+		// Linearization point: splice into the bottom level.
+		pm := preds[0].next[0].Load()
+		if pm.marked || pm.next != succs[0] {
+			continue
+		}
+		if !preds[0].next[0].CompareAndSwap(pm, &markable{next: n}) {
+			continue
+		}
+		// Link the upper levels; the node is already in the set, so
+		// failures here only delay reachability, not correctness.
+		for lvl := 1; lvl < height; lvl++ {
+			for {
+				// Keep n's forward pointer current; if n got
+				// marked meanwhile, stop linking — the remover
+				// will (or did) unlink what is linked.
+				nm := n.next[lvl].Load()
+				if nm.marked {
+					l.size.Add(1)
+					return true
+				}
+				if nm.next != succs[lvl] &&
+					!n.next[lvl].CompareAndSwap(nm, &markable{next: succs[lvl]}) {
+					continue
+				}
+				pm := preds[lvl].next[lvl].Load()
+				if !pm.marked && pm.next == succs[lvl] &&
+					preds[lvl].next[lvl].CompareAndSwap(pm, &markable{next: n}) {
+					break
+				}
+				l.find(k, &preds, &succs)
+			}
+		}
+		l.size.Add(1)
+		return true
+	}
+}
+
+// Remove deletes k and reports whether this call removed it.
+func (l *List) Remove(k int64) bool {
+	var preds, succs [maxLevel]*node
+	if !l.find(k, &preds, &succs) {
+		return false
+	}
+	victim := succs[0]
+	// Mark the upper levels top-down.
+	for lvl := len(victim.next) - 1; lvl >= 1; lvl-- {
+		for {
+			m := victim.next[lvl].Load()
+			if m.marked {
+				break
+			}
+			victim.next[lvl].CompareAndSwap(m, &markable{next: m.next, marked: true})
+		}
+	}
+	// Linearization point: mark the bottom level; exactly one caller
+	// succeeds.
+	for {
+		m := victim.next[0].Load()
+		if m.marked {
+			return false
+		}
+		if victim.next[0].CompareAndSwap(m, &markable{next: m.next, marked: true}) {
+			l.size.Add(-1)
+			l.find(k, &preds, &succs) // physically unlink
+			return true
+		}
+	}
+}
+
+// Keys returns the unmarked keys in ascending order; meaningful at
+// quiescence (tests).
+func (l *List) Keys() []int64 {
+	var keys []int64
+	for n := l.head.next[0].Load().next; n != l.tail; {
+		m := n.next[0].Load()
+		if !m.marked {
+			keys = append(keys, n.key)
+		}
+		n = m.next
+	}
+	return keys
+}

@@ -1,0 +1,120 @@
+package lockfreeskip
+
+import (
+	"sync"
+	"testing"
+
+	"pimds/internal/cds/cdstest"
+)
+
+func TestSequentialSemantics(t *testing.T) {
+	cdstest.SetSequential(t, New(1), 64, 4000, 13)
+}
+
+func TestBasic(t *testing.T) {
+	l := New(5)
+	for _, k := range []int64{9, 2, 7, 4} {
+		if !l.Add(k) {
+			t.Fatalf("Add(%d) failed", k)
+		}
+	}
+	if l.Add(7) {
+		t.Error("duplicate add succeeded")
+	}
+	got := l.Keys()
+	want := []int64{2, 4, 7, 9}
+	if len(got) != len(want) {
+		t.Fatalf("keys = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("keys = %v, want %v", got, want)
+		}
+	}
+	if !l.Remove(7) || l.Remove(7) || l.Contains(7) {
+		t.Error("remove semantics broken")
+	}
+	if l.Len() != 3 {
+		t.Errorf("len = %d, want 3", l.Len())
+	}
+}
+
+func TestConcurrentConservation(t *testing.T) {
+	l := New(77)
+	cdstest.SetStress(t,
+		func() cdstest.Set { return l },
+		func() []int64 { return l.Keys() },
+		128, 8, 3000, 202)
+}
+
+// TestConcurrentSameKey: exactly one of many concurrent adders of the
+// same key must win, and exactly one of many concurrent removers.
+func TestConcurrentSameKey(t *testing.T) {
+	l := New(9)
+	const goroutines = 8
+	for round := 0; round < 200; round++ {
+		k := int64(round)
+		var added, removed int
+		var mu sync.Mutex
+		var wg sync.WaitGroup
+		for g := 0; g < goroutines; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				if l.Add(k) {
+					mu.Lock()
+					added++
+					mu.Unlock()
+				}
+			}()
+		}
+		wg.Wait()
+		if added != 1 {
+			t.Fatalf("round %d: %d adders succeeded, want 1", round, added)
+		}
+		for g := 0; g < goroutines; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				if l.Remove(k) {
+					mu.Lock()
+					removed++
+					mu.Unlock()
+				}
+			}()
+		}
+		wg.Wait()
+		if removed != 1 {
+			t.Fatalf("round %d: %d removers succeeded, want 1", round, removed)
+		}
+		if l.Contains(k) {
+			t.Fatalf("round %d: key still present", round)
+		}
+	}
+}
+
+// TestAddRemoveChurn exercises physical unlinking under churn on a
+// small key range, which maximizes marked-node traffic in find().
+func TestAddRemoveChurn(t *testing.T) {
+	l := New(3)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 5000; i++ {
+				k := int64(i % 8)
+				l.Add(k)
+				l.Remove(k)
+				l.Contains(k)
+			}
+		}(g)
+	}
+	wg.Wait()
+	// Whatever remains must be a consistent subset of [0,8).
+	for _, k := range l.Keys() {
+		if k < 0 || k >= 8 {
+			t.Errorf("unexpected key %d", k)
+		}
+	}
+}

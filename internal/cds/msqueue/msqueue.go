@@ -1,0 +1,83 @@
+// Package msqueue implements the classic lock-free FIFO queue of
+// Michael and Scott (PODC 1996). It is not one of the paper's
+// baselines; it serves as an additional correctness reference and as a
+// sanity point in the queue benchmarks (the paper's F&A queue exists
+// precisely because CAS-retry queues like this one collapse under
+// contention).
+package msqueue
+
+import "sync/atomic"
+
+type node struct {
+	val  int64
+	next atomic.Pointer[node]
+}
+
+// Queue is a lock-free FIFO queue of int64 values. Create one with New.
+// All methods are safe for concurrent use.
+type Queue struct {
+	head atomic.Pointer[node] // dummy node
+	tail atomic.Pointer[node]
+}
+
+// New returns an empty queue.
+func New() *Queue {
+	dummy := &node{}
+	q := &Queue{}
+	q.head.Store(dummy)
+	q.tail.Store(dummy)
+	return q
+}
+
+// Enqueue appends v to the queue.
+func (q *Queue) Enqueue(v int64) {
+	n := &node{val: v}
+	for {
+		tail := q.tail.Load()
+		next := tail.next.Load()
+		if tail != q.tail.Load() {
+			continue
+		}
+		if next != nil {
+			// Tail is lagging; help advance it.
+			q.tail.CompareAndSwap(tail, next)
+			continue
+		}
+		if tail.next.CompareAndSwap(nil, n) {
+			q.tail.CompareAndSwap(tail, n)
+			return
+		}
+	}
+}
+
+// Dequeue removes and returns the oldest value; ok is false if the
+// queue was observed empty.
+func (q *Queue) Dequeue() (v int64, ok bool) {
+	for {
+		head := q.head.Load()
+		tail := q.tail.Load()
+		next := head.next.Load()
+		if head != q.head.Load() {
+			continue
+		}
+		if head == tail {
+			if next == nil {
+				return 0, false
+			}
+			q.tail.CompareAndSwap(tail, next)
+			continue
+		}
+		if q.head.CompareAndSwap(head, next) {
+			return next.val, true
+		}
+	}
+}
+
+// Len returns the queue length at quiescence (tests).
+func (q *Queue) Len() int {
+	n := 0
+	for cur := q.head.Load().next.Load(); cur != nil; cur = cur.next.Load() {
+		n++
+	}
+	return n
+}

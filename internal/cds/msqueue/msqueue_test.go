@@ -1,0 +1,33 @@
+package msqueue
+
+import (
+	"testing"
+
+	"pimds/internal/cds/cdstest"
+)
+
+func TestSequentialFIFO(t *testing.T) {
+	cdstest.QueueSequential(t, New(), 5000)
+}
+
+func TestConcurrentConservation(t *testing.T) {
+	q := New()
+	cdstest.QueueStress(t,
+		func() cdstest.Queue { return q },
+		4, 4, 5000)
+}
+
+func TestLenAtQuiescence(t *testing.T) {
+	q := New()
+	for i := int64(0); i < 10; i++ {
+		q.Enqueue(i)
+	}
+	if q.Len() != 10 {
+		t.Errorf("len = %d, want 10", q.Len())
+	}
+	q.Dequeue()
+	q.Dequeue()
+	if q.Len() != 8 {
+		t.Errorf("len = %d, want 8", q.Len())
+	}
+}

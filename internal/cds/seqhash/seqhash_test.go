@@ -1,0 +1,110 @@
+package seqhash
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBasicOps(t *testing.T) {
+	h := New(4)
+	if h.Len() != 0 {
+		t.Fatal("new table not empty")
+	}
+	if _, ok := h.Get(1); ok {
+		t.Error("empty table returned a value")
+	}
+	if !h.Put(1, 100) {
+		t.Error("fresh put should report new")
+	}
+	if h.Put(1, 200) {
+		t.Error("overwrite should not report new")
+	}
+	if v, ok := h.Get(1); !ok || v != 200 {
+		t.Errorf("Get(1) = %d,%v want 200,true", v, ok)
+	}
+	if !h.Delete(1) || h.Delete(1) {
+		t.Error("delete semantics broken")
+	}
+	if h.Len() != 0 {
+		t.Errorf("len = %d, want 0", h.Len())
+	}
+}
+
+func TestGrowth(t *testing.T) {
+	h := New(8)
+	const n = 10000
+	for i := int64(0); i < n; i++ {
+		h.Put(i, i*2)
+	}
+	if h.Len() != n {
+		t.Fatalf("len = %d, want %d", h.Len(), n)
+	}
+	if len(h.buckets) < n {
+		t.Errorf("buckets = %d, want ≥ %d after growth", len(h.buckets), n)
+	}
+	for i := int64(0); i < n; i++ {
+		if v, ok := h.Get(i); !ok || v != i*2 {
+			t.Fatalf("Get(%d) = %d,%v", i, v, ok)
+		}
+	}
+	if got := len(h.Keys()); got != n {
+		t.Errorf("Keys len = %d, want %d", got, n)
+	}
+}
+
+// TestAgainstMap checks map semantics on random op streams.
+func TestAgainstMap(t *testing.T) {
+	f := func(seed int64) bool {
+		h := New(8)
+		ref := make(map[int64]int64)
+		rng := rand.New(rand.NewSource(seed))
+		for i := 0; i < 2000; i++ {
+			k := rng.Int63n(200)
+			switch rng.Intn(3) {
+			case 0:
+				v := rng.Int63()
+				_, existed := ref[k]
+				if h.Put(k, v) == existed {
+					return false
+				}
+				ref[k] = v
+			case 1:
+				_, existed := ref[k]
+				if h.Delete(k) != existed {
+					return false
+				}
+				delete(ref, k)
+			default:
+				want, existed := ref[k]
+				got, ok := h.Get(k)
+				if ok != existed || (ok && got != want) {
+					return false
+				}
+			}
+		}
+		return h.Len() == len(ref)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestProbesStayConstant: average probes per op must stay O(1) as the
+// table grows (the property that makes the PIM hash map message-bound).
+func TestProbesStayConstant(t *testing.T) {
+	h := New(8)
+	for i := int64(0); i < 1<<15; i++ {
+		h.Put(i, i)
+	}
+	h.ResetSteps()
+	const lookups = 10000
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < lookups; i++ {
+		h.Get(rng.Int63n(1 << 15))
+	}
+	perOp := float64(h.Steps()) / lookups
+	if perOp > 4 {
+		t.Errorf("avg probes per lookup = %.2f, want O(1) (≈ 2)", perOp)
+	}
+}

@@ -1,0 +1,182 @@
+// Package seqlist implements a sequential sorted linked-list set with
+// integer keys. It is the data structure a flat-combining combiner (or,
+// in the simulator, a PIM core) manipulates on behalf of all threads,
+// and it supports the paper's combining optimization: applying a whole
+// batch of operations in a single traversal (Section 4.1).
+package seqlist
+
+import "sort"
+
+// OpKind is the kind of a set operation.
+type OpKind uint8
+
+// The three set operations of Section 4.
+const (
+	Contains OpKind = iota
+	Add
+	Remove
+)
+
+// String returns the operation name.
+func (k OpKind) String() string {
+	switch k {
+	case Contains:
+		return "contains"
+	case Add:
+		return "add"
+	case Remove:
+		return "remove"
+	default:
+		return "unknown"
+	}
+}
+
+// Op is one set operation request.
+type Op struct {
+	Kind OpKind
+	Key  int64
+}
+
+type node struct {
+	key  int64
+	next *node
+}
+
+// List is a sorted singly-linked list with a dummy head sentinel. The
+// zero value is not ready to use; call New.
+type List struct {
+	head *node // dummy sentinel, key irrelevant
+	size int
+
+	// steps counts node visits (pointer dereferences past the
+	// sentinel) so tests and the simulator can charge traversal
+	// costs; reset with ResetSteps.
+	steps uint64
+}
+
+// New returns an empty list.
+func New() *List {
+	return &List{head: &node{}}
+}
+
+// Len returns the number of keys in the list.
+func (l *List) Len() int { return l.size }
+
+// Steps returns the number of node visits since the last ResetSteps.
+func (l *List) Steps() uint64 { return l.steps }
+
+// ResetSteps zeroes the visit counter.
+func (l *List) ResetSteps() { l.steps = 0 }
+
+// find returns the last node with key < k, starting from from (which
+// must already satisfy from.key < k or be the sentinel).
+func (l *List) find(from *node, k int64) *node {
+	pred := from
+	for pred.next != nil && pred.next.key < k {
+		pred = pred.next
+		l.steps++
+	}
+	if pred.next != nil {
+		l.steps++ // inspected the stopping node too
+	}
+	return pred
+}
+
+// ContainsKey reports whether k is in the list.
+func (l *List) ContainsKey(k int64) bool {
+	pred := l.find(l.head, k)
+	return pred.next != nil && pred.next.key == k
+}
+
+// AddKey inserts k and reports whether it was absent.
+func (l *List) AddKey(k int64) bool {
+	pred := l.find(l.head, k)
+	if pred.next != nil && pred.next.key == k {
+		return false
+	}
+	pred.next = &node{key: k, next: pred.next}
+	l.size++
+	return true
+}
+
+// RemoveKey deletes k and reports whether it was present.
+func (l *List) RemoveKey(k int64) bool {
+	pred := l.find(l.head, k)
+	if pred.next == nil || pred.next.key != k {
+		return false
+	}
+	pred.next = pred.next.next
+	l.size--
+	return true
+}
+
+// Apply executes a single operation and returns its result.
+func (l *List) Apply(op Op) bool {
+	switch op.Kind {
+	case Contains:
+		return l.ContainsKey(op.Key)
+	case Add:
+		return l.AddKey(op.Key)
+	case Remove:
+		return l.RemoveKey(op.Key)
+	default:
+		return false
+	}
+}
+
+// ApplyBatch executes a batch of operations in one traversal — the
+// combining optimization of Section 4.1. Operations are served in
+// ascending key order (ties in batch order), so the whole batch costs
+// one walk to the largest requested key instead of one walk per
+// operation. Results are returned in the batch's original order.
+//
+// Reordering operations with distinct keys is linearizable: the batch
+// is concurrent, so any serialization is legal; same-key operations
+// keep their relative order.
+func (l *List) ApplyBatch(ops []Op) []bool {
+	results := make([]bool, len(ops))
+	if len(ops) == 0 {
+		return results
+	}
+	idx := make([]int, len(ops))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return ops[idx[a]].Key < ops[idx[b]].Key })
+
+	pred := l.head
+	for _, i := range idx {
+		op := ops[i]
+		pred = l.find(pred, op.Key)
+		switch op.Kind {
+		case Contains:
+			results[i] = pred.next != nil && pred.next.key == op.Key
+		case Add:
+			if pred.next != nil && pred.next.key == op.Key {
+				results[i] = false
+			} else {
+				pred.next = &node{key: op.Key, next: pred.next}
+				l.size++
+				results[i] = true
+			}
+		case Remove:
+			if pred.next != nil && pred.next.key == op.Key {
+				pred.next = pred.next.next
+				l.size--
+				results[i] = true
+			} else {
+				results[i] = false
+			}
+		}
+	}
+	return results
+}
+
+// Keys returns the keys in ascending order (for tests).
+func (l *List) Keys() []int64 {
+	keys := make([]int64, 0, l.size)
+	for n := l.head.next; n != nil; n = n.next {
+		keys = append(keys, n.key)
+	}
+	return keys
+}

@@ -1,0 +1,59 @@
+// Package treiberstack implements Treiber's classic lock-free stack
+// (1986) — the canonical CPU-side contended stack whose top-pointer
+// contention Section 5 of the paper calls out ("operations compete for
+// … the top pointer of a stack"). Every push and pop CASes the single
+// top pointer, so p concurrent operations serialize exactly like the
+// F&A queue's counter: throughput ≤ 1/Latomic under the paper's model.
+package treiberstack
+
+import "sync/atomic"
+
+type node struct {
+	val  int64
+	next *node
+}
+
+// Stack is a lock-free LIFO stack of int64 values. The zero value is
+// an empty, ready-to-use stack. All methods are safe for concurrent
+// use.
+type Stack struct {
+	top atomic.Pointer[node]
+}
+
+// New returns an empty stack.
+func New() *Stack { return &Stack{} }
+
+// Push adds v to the top of the stack.
+func (s *Stack) Push(v int64) {
+	n := &node{val: v}
+	for {
+		top := s.top.Load()
+		n.next = top
+		if s.top.CompareAndSwap(top, n) {
+			return
+		}
+	}
+}
+
+// Pop removes and returns the top value; ok is false if the stack was
+// observed empty.
+func (s *Stack) Pop() (v int64, ok bool) {
+	for {
+		top := s.top.Load()
+		if top == nil {
+			return 0, false
+		}
+		if s.top.CompareAndSwap(top, top.next) {
+			return top.val, true
+		}
+	}
+}
+
+// Len returns the stack depth at quiescence (tests).
+func (s *Stack) Len() int {
+	n := 0
+	for cur := s.top.Load(); cur != nil; cur = cur.next {
+		n++
+	}
+	return n
+}

@@ -1,0 +1,32 @@
+package treiberstack
+
+import (
+	"testing"
+
+	"pimds/internal/cds/cdstest"
+)
+
+func TestSequentialLIFO(t *testing.T) {
+	cdstest.StackSequential(t, New(), 2000)
+}
+
+func TestConcurrentConservation(t *testing.T) {
+	s := New()
+	cdstest.StackStress(t,
+		func() cdstest.Stack { return s },
+		4, 4, 5000)
+}
+
+func TestLenAtQuiescence(t *testing.T) {
+	s := New()
+	for i := int64(0); i < 10; i++ {
+		s.Push(i)
+	}
+	if s.Len() != 10 {
+		t.Errorf("len = %d, want 10", s.Len())
+	}
+	s.Pop()
+	if s.Len() != 9 {
+		t.Errorf("len = %d, want 9", s.Len())
+	}
+}

@@ -1,0 +1,210 @@
+// Package pimhash extends the paper's designs with a PIM-managed hash
+// map — the "other types of PIM-managed data structures" its conclusion
+// invites. Keys are routed to vaults by hash, so unlike the skip-list
+// no range directory or rebalancing is needed: the hash spreads load
+// uniformly by construction, and each vault's PIM core serves O(1)
+// probes per operation.
+//
+// The analysis mirrors Table 2 with β replaced by the expected probe
+// count ρ ≈ 2:
+//
+//	PIM hash map, k vaults:  k / (ρ·Lpim + Lmessage)
+//	CPU sharded hash map:    p / (ρ·Lcpu + Latomic·r3')   (lock per shard)
+//
+// Because ρ is tiny, the PIM hash map is message-latency-bound — the
+// regime where pipelining matters most; its core therefore serves its
+// whole buffer per pass like the combining linked-list.
+package pimhash
+
+import (
+	"fmt"
+
+	"pimds/internal/cds/seqhash"
+	"pimds/internal/sim"
+)
+
+// Message kinds for the hash-map protocol.
+const (
+	MsgGet  = iota + 1 // Key = key
+	MsgPut             // Key = key, Val = value
+	MsgDel             // Key = key
+	MsgResp            // OK = found/new/removed, Val = value (Get)
+)
+
+// Map is a PIM-managed hash map partitioned across k vaults by key
+// hash.
+type Map struct {
+	eng   *sim.Engine
+	parts []*partition
+}
+
+type partition struct {
+	core  *sim.PIMCore
+	table *seqhash.Table
+
+	Served uint64
+}
+
+// New creates a PIM hash map over k fresh PIM cores.
+func New(e *sim.Engine, k int) *Map {
+	if k < 1 {
+		panic(fmt.Sprintf("pimhash: need k >= 1, got %d", k))
+	}
+	m := &Map{eng: e}
+	for i := 0; i < k; i++ {
+		p := &partition{table: seqhash.New(64)}
+		p.core = e.NewPIMCore(p.handle)
+		m.parts = append(m.parts, p)
+	}
+	return m
+}
+
+// Partitions returns k.
+func (m *Map) Partitions() int { return len(m.parts) }
+
+// Cores returns the PIM cores (stats).
+func (m *Map) Cores() []*sim.PIMCore {
+	cores := make([]*sim.PIMCore, len(m.parts))
+	for i, p := range m.parts {
+		cores[i] = p.core
+	}
+	return cores
+}
+
+// routeHash is the client-side vault-selection hash (splitmix64
+// finalizer); it must be stateless and cheap — a pure register
+// computation, charged as Epsilon. Routing uses the HIGH 32 bits while
+// the per-vault table indexes buckets with the low bits of the same
+// finalizer: using the same bits for both once left every vault with
+// only 1/k of its buckets populated and k× longer chains.
+func routeHash(k int64) uint64 {
+	z := uint64(k) + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return (z ^ z>>31) >> 32
+}
+
+// coreFor returns the core owning key k.
+func (m *Map) coreFor(k int64) sim.CoreID {
+	return m.parts[routeHash(k)%uint64(len(m.parts))].core.ID()
+}
+
+// Preload stores key→value pairs at no simulated cost.
+func (m *Map) Preload(kv map[int64]int64) {
+	for k, v := range kv {
+		m.parts[routeHash(k)%uint64(len(m.parts))].table.Put(k, v)
+	}
+}
+
+// TotalLen returns the number of stored keys.
+func (m *Map) TotalLen() int {
+	total := 0
+	for _, p := range m.parts {
+		total += p.table.Len()
+	}
+	return total
+}
+
+// handle serves every buffered request in one pass (each is O(1), so
+// batching amortizes nothing structural, but replies pipeline).
+func (p *partition) handle(c *sim.PIMCore, m sim.Message) {
+	batch := c.TakeQueued([]sim.Message{m}, -1)
+	for _, req := range batch {
+		p.table.ResetSteps()
+		var resp sim.Message
+		switch req.Kind {
+		case MsgGet:
+			v, ok := p.table.Get(req.Key)
+			resp = sim.Message{To: req.From, Kind: MsgResp, Key: req.Key, Val: v, OK: ok}
+		case MsgPut:
+			fresh := p.table.Put(req.Key, req.Val)
+			resp = sim.Message{To: req.From, Kind: MsgResp, Key: req.Key, OK: fresh}
+		case MsgDel:
+			removed := p.table.Delete(req.Key)
+			resp = sim.Message{To: req.From, Kind: MsgResp, Key: req.Key, OK: removed}
+		default:
+			panic("pimhash: unknown request kind")
+		}
+		c.ReadN(int(p.table.Steps()))
+		if req.Kind != MsgGet {
+			c.Write()
+		}
+		c.Send(resp)
+		c.CountOp()
+		p.Served++
+	}
+}
+
+// Op is one hash-map operation for client streams.
+type Op struct {
+	Kind int // MsgGet, MsgPut or MsgDel
+	Key  int64
+	Val  int64
+}
+
+// NewClient returns a closed-loop client issuing the stream produced
+// by next.
+func (m *Map) NewClient(next func(seq uint64) Op) *sim.Client {
+	return sim.NewClient(m.eng, func(c *sim.CPU, seq uint64) sim.Message {
+		op := next(seq)
+		return sim.Message{To: m.coreFor(op.Key), Kind: op.Kind, Key: op.Key, Val: op.Val}
+	})
+}
+
+// SimShardedCPU simulates the strongest simple CPU-side baseline: a
+// hash map sharded across s locks, p threads. Each operation pays the
+// probe walk at Lcpu plus one atomic for the shard lock; concurrent
+// operations on the same shard serialize on that lock's cache line.
+type SimShardedCPU struct {
+	cpus   []*sim.CPU
+	tables []*seqhash.Table
+	locks  []*sim.AtomicLine
+}
+
+// NewSimShardedCPU creates the baseline with p threads over s shards,
+// driven by per-thread op streams.
+func NewSimShardedCPU(e *sim.Engine, p, s int, next func(cpu int, seq uint64) Op) *SimShardedCPU {
+	b := &SimShardedCPU{}
+	for i := 0; i < s; i++ {
+		b.tables = append(b.tables, seqhash.New(64))
+		b.locks = append(b.locks, &sim.AtomicLine{})
+	}
+	for i := 0; i < p; i++ {
+		i := i
+		cpu := e.NewCPU(nil)
+		var seq uint64
+		sim.Loop(cpu, func(c *sim.CPU) {
+			op := next(i, seq)
+			seq++
+			shard := int(routeHash(op.Key) % uint64(len(b.tables)))
+			c.Atomic(b.locks[shard]) // lock acquire (contended line)
+			tbl := b.tables[shard]
+			tbl.ResetSteps()
+			switch op.Kind {
+			case MsgGet:
+				tbl.Get(op.Key)
+			case MsgPut:
+				tbl.Put(op.Key, op.Val)
+			case MsgDel:
+				tbl.Delete(op.Key)
+			}
+			c.MemReadN(int(tbl.Steps()))
+			if op.Kind != MsgGet {
+				c.MemWrite()
+			}
+			c.CountOp()
+		})
+		b.cpus = append(b.cpus, cpu)
+	}
+	return b
+}
+
+// Ops returns the snapshot function for sim.Measure.
+func (b *SimShardedCPU) Ops() func() uint64 { return sim.OpsOfCPUs(b.cpus) }
+
+// Preload stores pairs at no cost.
+func (b *SimShardedCPU) Preload(kv map[int64]int64) {
+	for k, v := range kv {
+		b.tables[routeHash(k)%uint64(len(b.tables))].Put(k, v)
+	}
+}

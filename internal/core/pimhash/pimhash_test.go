@@ -1,0 +1,163 @@
+package pimhash
+
+import (
+	"math/rand"
+	"testing"
+
+	"pimds/internal/model"
+	"pimds/internal/sim"
+)
+
+func testConfig() sim.Config {
+	return sim.ConfigFromParams(model.DefaultParams())
+}
+
+// TestSequentialEquivalence: one client's ops must match map semantics.
+func TestSequentialEquivalence(t *testing.T) {
+	e := sim.NewEngine(testConfig())
+	m := New(e, 4)
+
+	rng := rand.New(rand.NewSource(5))
+	var issued []Op
+	cl := m.NewClient(func(uint64) Op {
+		var op Op
+		k := rng.Int63n(128)
+		switch rng.Intn(3) {
+		case 0:
+			op = Op{Kind: MsgGet, Key: k}
+		case 1:
+			op = Op{Kind: MsgPut, Key: k, Val: rng.Int63n(1000)}
+		default:
+			op = Op{Kind: MsgDel, Key: k}
+		}
+		issued = append(issued, op)
+		return op
+	})
+	cl.Start()
+	e.RunUntil(2 * sim.Millisecond)
+
+	ref := make(map[int64]int64)
+	for i := uint64(0); i < cl.Completed; i++ {
+		op := issued[i]
+		switch op.Kind {
+		case MsgPut:
+			ref[op.Key] = op.Val
+		case MsgDel:
+			delete(ref, op.Key)
+		}
+	}
+	if got, want := m.TotalLen(), len(ref); got != want && got != want+1 && got != want-1 {
+		// ±1 for the in-flight op at the horizon.
+		t.Errorf("TotalLen = %d, want ≈ %d", got, want)
+	}
+	if cl.Completed < 1000 {
+		t.Errorf("only %d ops completed", cl.Completed)
+	}
+}
+
+func TestPreloadAndRouting(t *testing.T) {
+	e := sim.NewEngine(testConfig())
+	m := New(e, 8)
+	kv := map[int64]int64{}
+	for k := int64(0); k < 1000; k++ {
+		kv[k] = k * 3
+	}
+	m.Preload(kv)
+	if m.TotalLen() != 1000 {
+		t.Fatalf("TotalLen = %d, want 1000", m.TotalLen())
+	}
+	// Hash routing should spread keys across all partitions.
+	for i, p := range m.parts {
+		if p.table.Len() == 0 {
+			t.Errorf("partition %d empty", i)
+		}
+		if p.table.Len() > 1000/8*2 {
+			t.Errorf("partition %d has %d keys; hash badly skewed", i, p.table.Len())
+		}
+	}
+	if m.Partitions() != 8 || len(m.Cores()) != 8 {
+		t.Error("partition accessors broken")
+	}
+}
+
+// TestScalesWithVaults: k vaults serve ≈ k× the throughput under
+// saturation.
+func TestScalesWithVaults(t *testing.T) {
+	run := func(k int) float64 {
+		e := sim.NewEngine(testConfig())
+		m := New(e, k)
+		kv := map[int64]int64{}
+		for kk := int64(0); kk < 4096; kk++ {
+			kv[kk] = kk
+		}
+		m.Preload(kv)
+		var clients []*sim.Client
+		for i := 0; i < 8*k; i++ {
+			rng := rand.New(rand.NewSource(int64(100 + i)))
+			clients = append(clients, m.NewClient(func(uint64) Op {
+				k := rng.Int63n(4096)
+				if rng.Intn(2) == 0 {
+					return Op{Kind: MsgGet, Key: k}
+				}
+				return Op{Kind: MsgPut, Key: k, Val: 1}
+			}))
+		}
+		meter := &sim.Meter{Engine: e, Clients: clients}
+		_, ops := meter.Run(200*sim.Microsecond, 2*sim.Millisecond)
+		return ops
+	}
+	t1, t4 := run(1), run(4)
+	if ratio := t4 / t1; ratio < 3.3 || ratio > 4.7 {
+		t.Errorf("4-vault speedup = %.2f, want ≈ 4", ratio)
+	}
+}
+
+// TestBeatsShardedCPUBaseline: at equal saturation the PIM hash map
+// should beat the lock-sharded CPU map whenever k is reasonably sized,
+// since ρ·Lpim + pipelined messaging < ρ·Lcpu + lock serialization.
+func TestBeatsShardedCPUBaseline(t *testing.T) {
+	const p = 16
+	const k = 8
+	e1 := sim.NewEngine(testConfig())
+	m := New(e1, k)
+	kv := map[int64]int64{}
+	for kk := int64(0); kk < 4096; kk++ {
+		kv[kk] = kk
+	}
+	m.Preload(kv)
+	var clients []*sim.Client
+	for i := 0; i < p; i++ {
+		rng := rand.New(rand.NewSource(int64(i)))
+		clients = append(clients, m.NewClient(func(uint64) Op {
+			return Op{Kind: MsgGet, Key: rng.Int63n(4096)}
+		}))
+	}
+	meter := &sim.Meter{Engine: e1, Clients: clients}
+	_, pimOps := meter.Run(200*sim.Microsecond, 2*sim.Millisecond)
+
+	e2 := sim.NewEngine(testConfig())
+	gens := make([]*rand.Rand, p)
+	for i := range gens {
+		gens[i] = rand.New(rand.NewSource(int64(50 + i)))
+	}
+	base := NewSimShardedCPU(e2, p, k, func(cpu int, _ uint64) Op {
+		return Op{Kind: MsgGet, Key: gens[cpu].Int63n(4096)}
+	})
+	base.Preload(kv)
+	_, cpuOps := sim.Measure(e2, func() {}, base.Ops(), 200*sim.Microsecond, 2*sim.Millisecond)
+
+	if pimOps <= cpuOps {
+		t.Errorf("PIM hash map (%.3g) should beat sharded CPU map (%.3g) at k=%d, p=%d",
+			pimOps, cpuOps, k, p)
+	}
+}
+
+func TestBadConstructionPanics(t *testing.T) {
+	e := sim.NewEngine(testConfig())
+	defer func() {
+		if recover() == nil {
+			t.Error("k=0 should panic")
+		}
+	}()
+	New(e, 0)
+}

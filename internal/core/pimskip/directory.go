@@ -1,0 +1,117 @@
+package pimskip
+
+import (
+	"fmt"
+	"sort"
+
+	"pimds/internal/sim"
+)
+
+// Directory is a CPU-side copy of the sentinel nodes: a sorted mapping
+// from range-start keys to the PIM core owning the range (Section 4.2,
+// Figure 3). Every client CPU holds its own copy in regular DRAM; the
+// paper argues sentinels are few and hot, so lookups hit the CPU cache
+// (we charge one Lllc per lookup at the call sites).
+//
+// A Directory is plain data manipulated from simulator callbacks; it
+// needs no synchronization because the simulator is single-threaded.
+type Directory struct {
+	starts []int64      // ascending; starts[0] is the key-space low bound
+	cores  []sim.CoreID // cores[i] owns [starts[i], starts[i+1])
+	high   int64        // exclusive upper bound of the key space
+}
+
+// NewDirectory builds the initial directory: k equal ranges of
+// [0, keySpace), range i starting at i·keySpace/k and owned by cores[i]
+// — the paper's initial fake-sentinel layout.
+func NewDirectory(keySpace int64, cores []sim.CoreID) *Directory {
+	k := len(cores)
+	if k == 0 || keySpace < int64(k) {
+		panic(fmt.Sprintf("pimskip: need 1 <= k (%d) <= keySpace (%d)", k, keySpace))
+	}
+	d := &Directory{high: keySpace}
+	for i := 0; i < k; i++ {
+		d.starts = append(d.starts, int64(i)*keySpace/int64(k))
+		d.cores = append(d.cores, cores[i])
+	}
+	return d
+}
+
+// Clone returns an independent copy (each client CPU owns one).
+func (d *Directory) Clone() *Directory {
+	return &Directory{
+		starts: append([]int64(nil), d.starts...),
+		cores:  append([]sim.CoreID(nil), d.cores...),
+		high:   d.high,
+	}
+}
+
+// Lookup returns the core owning key k.
+func (d *Directory) Lookup(k int64) sim.CoreID {
+	if k < d.starts[0] || k >= d.high {
+		panic(fmt.Sprintf("pimskip: key %d outside [%d, %d)", k, d.starts[0], d.high))
+	}
+	// Largest start ≤ k.
+	i := sort.Search(len(d.starts), func(i int) bool { return d.starts[i] > k }) - 1
+	return d.cores[i]
+}
+
+// Update reassigns the range [low, high) to core, splitting boundary
+// entries as needed. It is how a client applies a migration
+// notification.
+func (d *Directory) Update(low, high int64, core sim.CoreID) {
+	if low >= high || low < d.starts[0] || high > d.high {
+		panic(fmt.Sprintf("pimskip: bad directory update [%d, %d)", low, high))
+	}
+	// Owner of the point just past the range, preserved on the far
+	// side of the split.
+	var tailOwner sim.CoreID
+	if high < d.high {
+		tailOwner = d.Lookup(high)
+	}
+
+	newStarts := make([]int64, 0, len(d.starts)+2)
+	newCores := make([]sim.CoreID, 0, len(d.cores)+2)
+	for i, s := range d.starts {
+		if s < low {
+			newStarts = append(newStarts, s)
+			newCores = append(newCores, d.cores[i])
+		}
+	}
+	newStarts = append(newStarts, low)
+	newCores = append(newCores, core)
+	if high < d.high {
+		newStarts = append(newStarts, high)
+		newCores = append(newCores, tailOwner)
+	}
+	for i, s := range d.starts {
+		if s > high {
+			newStarts = append(newStarts, s)
+			newCores = append(newCores, d.cores[i])
+		}
+	}
+	d.starts = newStarts
+	d.cores = newCores
+	d.normalize()
+}
+
+// normalize merges adjacent ranges with the same owner.
+func (d *Directory) normalize() {
+	outS := d.starts[:0]
+	outC := d.cores[:0]
+	for i := range d.starts {
+		if len(outC) > 0 && outC[len(outC)-1] == d.cores[i] {
+			continue
+		}
+		outS = append(outS, d.starts[i])
+		outC = append(outC, d.cores[i])
+	}
+	d.starts = outS
+	d.cores = outC
+}
+
+// Ranges returns the directory contents as (start, owner) pairs, for
+// tests and debugging.
+func (d *Directory) Ranges() ([]int64, []sim.CoreID) {
+	return append([]int64(nil), d.starts...), append([]sim.CoreID(nil), d.cores...)
+}

@@ -1,0 +1,154 @@
+package pimskip
+
+import (
+	"testing"
+	"testing/quick"
+
+	"pimds/internal/sim"
+)
+
+func dirCores(n int) []sim.CoreID {
+	cores := make([]sim.CoreID, n)
+	for i := range cores {
+		cores[i] = sim.CoreID(i + 1)
+	}
+	return cores
+}
+
+func TestDirectoryInitialLayout(t *testing.T) {
+	d := NewDirectory(100, dirCores(4))
+	cases := map[int64]sim.CoreID{0: 1, 24: 1, 25: 2, 49: 2, 50: 3, 74: 3, 75: 4, 99: 4}
+	for k, want := range cases {
+		if got := d.Lookup(k); got != want {
+			t.Errorf("Lookup(%d) = %d, want %d", k, got, want)
+		}
+	}
+}
+
+func TestDirectoryLookupOutOfRangePanics(t *testing.T) {
+	d := NewDirectory(100, dirCores(4))
+	for _, k := range []int64{-1, 100} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Lookup(%d) should panic", k)
+				}
+			}()
+			d.Lookup(k)
+		}()
+	}
+}
+
+func TestDirectoryBadConstructionPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewDirectory with no cores should panic")
+		}
+	}()
+	NewDirectory(100, nil)
+}
+
+func TestDirectoryUpdateSplitsRange(t *testing.T) {
+	d := NewDirectory(100, dirCores(4))
+	// Move [30, 40) (inside core 2's [25,50)) to core 1.
+	d.Update(30, 40, 1)
+	cases := map[int64]sim.CoreID{25: 2, 29: 2, 30: 1, 39: 1, 40: 2, 49: 2, 50: 3}
+	for k, want := range cases {
+		if got := d.Lookup(k); got != want {
+			t.Errorf("after split: Lookup(%d) = %d, want %d", k, got, want)
+		}
+	}
+}
+
+func TestDirectoryUpdateAcrossBoundaries(t *testing.T) {
+	d := NewDirectory(100, dirCores(4))
+	// Move [20, 60) — spans parts of cores 1, 2 and 3 — to core 4.
+	d.Update(20, 60, 4)
+	cases := map[int64]sim.CoreID{0: 1, 19: 1, 20: 4, 59: 4, 60: 3, 74: 3, 75: 4}
+	for k, want := range cases {
+		if got := d.Lookup(k); got != want {
+			t.Errorf("after span: Lookup(%d) = %d, want %d", k, got, want)
+		}
+	}
+}
+
+func TestDirectoryUpdateToEnd(t *testing.T) {
+	d := NewDirectory(100, dirCores(2))
+	d.Update(80, 100, 1)
+	if got := d.Lookup(99); got != 1 {
+		t.Errorf("Lookup(99) = %d, want 1", got)
+	}
+	if got := d.Lookup(79); got != 2 {
+		t.Errorf("Lookup(79) = %d, want 2", got)
+	}
+}
+
+func TestDirectoryNormalizeMerges(t *testing.T) {
+	d := NewDirectory(100, dirCores(2))
+	// Give core 1 everything; directory should collapse to one range.
+	d.Update(50, 100, 1)
+	starts, cores := d.Ranges()
+	if len(starts) != 1 || cores[0] != 1 {
+		t.Errorf("ranges = %v / %v, want single range owned by 1", starts, cores)
+	}
+}
+
+func TestDirectoryBadUpdatePanics(t *testing.T) {
+	d := NewDirectory(100, dirCores(2))
+	for _, c := range [][2]int64{{30, 30}, {50, 20}, {-5, 10}, {90, 101}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Update(%d, %d) should panic", c[0], c[1])
+				}
+			}()
+			d.Update(c[0], c[1], 1)
+		}()
+	}
+}
+
+func TestDirectoryClone(t *testing.T) {
+	d := NewDirectory(100, dirCores(2))
+	c := d.Clone()
+	c.Update(0, 50, 2)
+	if d.Lookup(0) != 1 {
+		t.Error("Clone is not independent")
+	}
+	if c.Lookup(0) != 2 {
+		t.Error("Clone update lost")
+	}
+}
+
+// TestDirectoryUpdateProperty: after any sequence of random updates,
+// lookup agrees with a flat reference array.
+func TestDirectoryUpdateProperty(t *testing.T) {
+	f := func(opsRaw []uint16) bool {
+		const space = 64
+		d := NewDirectory(space, dirCores(4))
+		var ref [space]sim.CoreID
+		for i := range ref {
+			ref[i] = d.Lookup(int64(i))
+		}
+		for _, raw := range opsRaw {
+			low := int64(raw % space)
+			high := low + 1 + int64((raw>>6)%8)
+			if high > space {
+				high = space
+			}
+			core := sim.CoreID(raw>>13%4 + 1)
+			d.Update(low, high, core)
+			for i := low; i < high; i++ {
+				ref[i] = core
+			}
+		}
+		for i := range ref {
+			if d.Lookup(int64(i)) != ref[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

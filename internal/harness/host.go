@@ -1,0 +1,51 @@
+package harness
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// HostThroughput measures a real (goroutine-based) concurrent data
+// structure: it runs p worker goroutines in a closed loop for the
+// measurement window (after a warmup) and returns operations per
+// second. worker is called once per goroutine and returns that
+// goroutine's per-operation function.
+//
+// This is the paper's host-emulation methodology: the flat-combining
+// structures' host throughput, multiplied by r1, estimates the
+// PIM-managed structures (Figures 2 and 4).
+func HostThroughput(p int, warmup, measure time.Duration, worker func(tid int, rng *rand.Rand) func()) float64 {
+	var (
+		started   = make(chan struct{})
+		stop      atomic.Bool
+		measuring atomic.Bool
+		counted   atomic.Int64
+		wg        sync.WaitGroup
+	)
+	for tid := 0; tid < p; tid++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			op := worker(tid, rand.New(rand.NewSource(int64(tid)*7919+1)))
+			<-started
+			for !stop.Load() {
+				op()
+				if measuring.Load() {
+					counted.Add(1)
+				}
+			}
+		}(tid)
+	}
+	close(started)
+	time.Sleep(warmup)
+	measuring.Store(true)
+	t0 := time.Now()
+	time.Sleep(measure)
+	measuring.Store(false)
+	elapsed := time.Since(t0)
+	stop.Store(true)
+	wg.Wait()
+	return float64(counted.Load()) / elapsed.Seconds()
+}

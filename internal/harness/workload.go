@@ -1,0 +1,187 @@
+// Package harness provides the workload generators, measurement loops
+// and table formatting shared by the benchmark executables
+// (cmd/pimbench, cmd/pimsim, cmd/pimmodel), the root-level Go
+// benchmarks, and the examples. Each experiment of DESIGN.md §3 is a
+// function in this package returning a formatted table.
+package harness
+
+import (
+	"fmt"
+	"math/rand"
+
+	"pimds/internal/cds/seqlist"
+	"pimds/internal/cds/seqskip"
+)
+
+// OpKind is a set-operation kind, shared across structures.
+type OpKind uint8
+
+// The three set operations.
+const (
+	Contains OpKind = iota
+	Add
+	Remove
+)
+
+// Op is a structure-agnostic set operation.
+type Op struct {
+	Kind OpKind
+	Key  int64
+}
+
+// ToList converts to the sequential-list op type.
+func (o Op) ToList() seqlist.Op {
+	return seqlist.Op{Kind: seqlist.OpKind(o.Kind), Key: o.Key}
+}
+
+// ToSkip converts to the sequential-skip-list op type.
+func (o Op) ToSkip() seqskip.Op {
+	return seqskip.Op{Kind: seqskip.OpKind(o.Kind), Key: o.Key}
+}
+
+// Mix is an operation mix in percent; the three fields must sum to 100.
+type Mix struct {
+	ContainsPct int
+	AddPct      int
+	RemovePct   int
+}
+
+// Validate checks the mix sums to 100.
+func (m Mix) Validate() error {
+	if m.ContainsPct+m.AddPct+m.RemovePct != 100 {
+		return fmt.Errorf("harness: mix %+v does not sum to 100", m)
+	}
+	return nil
+}
+
+// Balanced is the paper's size-stable update-only mix (equal adds and
+// removes).
+func Balanced() Mix { return Mix{AddPct: 50, RemovePct: 50} }
+
+// ReadMostly is a typical search-dominated mix.
+func ReadMostly() Mix { return Mix{ContainsPct: 90, AddPct: 5, RemovePct: 5} }
+
+// KeyDist generates keys.
+type KeyDist interface {
+	// Next returns the next key using rng.
+	Next(rng *rand.Rand) int64
+	// Space returns the exclusive key-space bound.
+	Space() int64
+	// Name describes the distribution.
+	Name() string
+}
+
+// Uniform draws keys uniformly from [0, N).
+type Uniform struct{ N int64 }
+
+// Next returns a uniform key.
+func (u Uniform) Next(rng *rand.Rand) int64 { return rng.Int63n(u.N) }
+
+// Space returns N.
+func (u Uniform) Space() int64 { return u.N }
+
+// Name describes the distribution.
+func (u Uniform) Name() string { return fmt.Sprintf("uniform[0,%d)", u.N) }
+
+// HotRange sends HotPct percent of keys into the first FracPct percent
+// of the key space — the skewed workload used by the rebalancing
+// experiment (§4.2.1).
+type HotRange struct {
+	N       int64
+	HotPct  int // share of requests hitting the hot range
+	FracPct int // size of the hot range as a share of the space
+}
+
+// Next returns a skewed key.
+func (h HotRange) Next(rng *rand.Rand) int64 {
+	hot := h.N * int64(h.FracPct) / 100
+	if hot < 1 {
+		hot = 1
+	}
+	if rng.Intn(100) < h.HotPct {
+		return rng.Int63n(hot)
+	}
+	if h.N == hot {
+		return rng.Int63n(h.N)
+	}
+	return hot + rng.Int63n(h.N-hot)
+}
+
+// Space returns N.
+func (h HotRange) Space() int64 { return h.N }
+
+// Name describes the distribution.
+func (h HotRange) Name() string {
+	return fmt.Sprintf("hot[%d%%→%d%% of %d]", h.HotPct, h.FracPct, h.N)
+}
+
+// Zipf draws keys Zipf-distributed over [0, N).
+type Zipf struct {
+	N int64
+	S float64 // skew exponent (> 1)
+}
+
+// Next returns a Zipf key. A Zipf source is created lazily per rng via
+// rand.NewZipf; to keep the interface stateless we recreate it from the
+// rng each call — rand.NewZipf is cheap for fixed parameters.
+func (z Zipf) Next(rng *rand.Rand) int64 {
+	zf := rand.NewZipf(rng, z.S, 1, uint64(z.N-1))
+	return int64(zf.Uint64())
+}
+
+// Space returns N.
+func (z Zipf) Space() int64 { return z.N }
+
+// Name describes the distribution.
+func (z Zipf) Name() string { return fmt.Sprintf("zipf(s=%.2f)[0,%d)", z.S, z.N) }
+
+// Generator produces a deterministic operation stream.
+type Generator struct {
+	rng  *rand.Rand
+	dist KeyDist
+	mix  Mix
+}
+
+// NewGenerator builds a generator; the same seed yields the same
+// stream.
+func NewGenerator(seed int64, dist KeyDist, mix Mix) *Generator {
+	if err := mix.Validate(); err != nil {
+		panic(err)
+	}
+	return &Generator{rng: rand.New(rand.NewSource(seed)), dist: dist, mix: mix}
+}
+
+// Next returns the next operation.
+func (g *Generator) Next() Op {
+	k := g.dist.Next(g.rng)
+	r := g.rng.Intn(100)
+	switch {
+	case r < g.mix.ContainsPct:
+		return Op{Kind: Contains, Key: k}
+	case r < g.mix.ContainsPct+g.mix.AddPct:
+		return Op{Kind: Add, Key: k}
+	default:
+		return Op{Kind: Remove, Key: k}
+	}
+}
+
+// ListStream adapts the generator to the signature pimlist clients use.
+func (g *Generator) ListStream() func(seq uint64) seqlist.Op {
+	return func(uint64) seqlist.Op { return g.Next().ToList() }
+}
+
+// SkipStream adapts the generator to the signature pimskip clients use.
+func (g *Generator) SkipStream() func(seq uint64) seqskip.Op {
+	return func(uint64) seqskip.Op { return g.Next().ToSkip() }
+}
+
+// PreloadKeys returns every other key of [0, space) — the standard
+// half-full initial population whose steady state matches a balanced
+// add/remove mix.
+func PreloadKeys(space int64) []int64 {
+	keys := make([]int64, 0, space/2)
+	for k := int64(0); k < space; k += 2 {
+		keys = append(keys, k)
+	}
+	return keys
+}

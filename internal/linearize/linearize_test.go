@@ -1,0 +1,164 @@
+package linearize
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmptyHistory(t *testing.T) {
+	if !Check(QueueSpec{}, nil) {
+		t.Error("empty history must be linearizable")
+	}
+}
+
+func TestSequentialQueueHistory(t *testing.T) {
+	// enq(1) enq(2) deq→1 deq→2, strictly sequential.
+	h := []Op{
+		{Start: 0, End: 1, Action: ActEnqueue, Input: 1},
+		{Start: 2, End: 3, Action: ActEnqueue, Input: 2},
+		{Start: 4, End: 5, Action: ActDequeue, Output: 1, OK: true},
+		{Start: 6, End: 7, Action: ActDequeue, Output: 2, OK: true},
+	}
+	if !Check(QueueSpec{}, h) {
+		t.Error("sequential FIFO history must be linearizable")
+	}
+	// Swap dequeue outputs: no longer FIFO.
+	h[2].Output, h[3].Output = 2, 1
+	if Check(QueueSpec{}, h) {
+		t.Error("LIFO-order dequeues must not linearize as a queue")
+	}
+}
+
+func TestConcurrentReorderAllowed(t *testing.T) {
+	// Two concurrent enqueues then two dequeues in "wrong" order vs
+	// invocation order: allowed because the enqueues overlap.
+	h := []Op{
+		{Start: 0, End: 10, Client: 1, Action: ActEnqueue, Input: 1},
+		{Start: 1, End: 9, Client: 2, Action: ActEnqueue, Input: 2},
+		{Start: 20, End: 21, Client: 3, Action: ActDequeue, Output: 2, OK: true},
+		{Start: 22, End: 23, Client: 3, Action: ActDequeue, Output: 1, OK: true},
+	}
+	if !Check(QueueSpec{}, h) {
+		t.Error("concurrent enqueues may linearize in either order")
+	}
+	// Make the enqueues sequential: now the order is fixed.
+	h[0].End = 1
+	h[1].Start = 2
+	h[1].End = 3
+	if Check(QueueSpec{}, h) {
+		t.Error("sequential enqueues must dequeue in order")
+	}
+}
+
+func TestDequeueEmptyLegality(t *testing.T) {
+	// deq→empty concurrent with an enqueue: legal (linearize deq first).
+	h := []Op{
+		{Start: 0, End: 10, Client: 1, Action: ActEnqueue, Input: 5},
+		{Start: 1, End: 9, Client: 2, Action: ActDequeue, OK: false},
+	}
+	if !Check(QueueSpec{}, h) {
+		t.Error("empty dequeue concurrent with enqueue is linearizable")
+	}
+	// deq→empty strictly after a completed enqueue with no dequeue in
+	// between: illegal.
+	h = []Op{
+		{Start: 0, End: 1, Action: ActEnqueue, Input: 5},
+		{Start: 2, End: 3, Action: ActDequeue, OK: false},
+	}
+	if Check(QueueSpec{}, h) {
+		t.Error("empty dequeue after completed enqueue must fail")
+	}
+}
+
+func TestStackSpec(t *testing.T) {
+	h := []Op{
+		{Start: 0, End: 1, Action: ActPush, Input: 1},
+		{Start: 2, End: 3, Action: ActPush, Input: 2},
+		{Start: 4, End: 5, Action: ActPop, Output: 2, OK: true},
+		{Start: 6, End: 7, Action: ActPop, Output: 1, OK: true},
+	}
+	if !Check(StackSpec{}, h) {
+		t.Error("LIFO history must linearize as a stack")
+	}
+	h[2].Output, h[3].Output = 1, 2
+	if Check(StackSpec{}, h) {
+		t.Error("FIFO-order pops must not linearize as a stack")
+	}
+}
+
+func TestSetSpec(t *testing.T) {
+	h := []Op{
+		{Start: 0, End: 1, Action: ActAdd, Input: 7, OK: true},
+		{Start: 2, End: 3, Action: ActAdd, Input: 7, OK: false},
+		{Start: 4, End: 5, Action: ActContains, Input: 7, OK: true},
+		{Start: 6, End: 7, Action: ActRemove, Input: 7, OK: true},
+		{Start: 8, End: 9, Action: ActContains, Input: 7, OK: false},
+	}
+	if !Check(SetSpec{}, h) {
+		t.Error("legal set history rejected")
+	}
+	// A contains that sees a key that was never added.
+	bad := []Op{{Start: 0, End: 1, Action: ActContains, Input: 9, OK: true}}
+	if Check(SetSpec{}, bad) {
+		t.Error("phantom contains accepted")
+	}
+	// Two successful adds of the same key with no remove between.
+	bad = []Op{
+		{Start: 0, End: 1, Action: ActAdd, Input: 3, OK: true},
+		{Start: 2, End: 3, Action: ActAdd, Input: 3, OK: true},
+	}
+	if Check(SetSpec{}, bad) {
+		t.Error("double successful add accepted")
+	}
+}
+
+// TestRandomSequentialHistoriesAlwaysLinearizable: histories generated
+// by actually running a sequential queue are always accepted, even
+// after intervals are widened to overlap (a legal witness still
+// exists).
+func TestRandomSequentialHistoriesAlwaysLinearizable(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var q []int64
+		var h []Op
+		now := int64(0)
+		for i := 0; i < 60; i++ {
+			now += 2
+			if rng.Intn(2) == 0 {
+				v := rng.Int63n(100)
+				q = append(q, v)
+				h = append(h, Op{Start: now, End: now + 1, Action: ActEnqueue, Input: v})
+			} else if len(q) > 0 {
+				v := q[0]
+				q = q[1:]
+				h = append(h, Op{Start: now, End: now + 1, Action: ActDequeue, Output: v, OK: true})
+			} else {
+				h = append(h, Op{Start: now, End: now + 1, Action: ActDequeue, OK: false})
+			}
+		}
+		if !Check(QueueSpec{}, h) {
+			return false
+		}
+		// Widen every interval by a random amount: with every op on
+		// one client, program order pins the sequential witness, which
+		// remains legal.
+		for i := range h {
+			h[i].Start -= rng.Int63n(3)
+			h[i].End += rng.Int63n(3)
+		}
+		return Check(QueueSpec{}, h)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInvertedIntervalPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("inverted interval should panic")
+		}
+	}()
+	Check(QueueSpec{}, []Op{{Start: 5, End: 1, Action: ActEnqueue}})
+}

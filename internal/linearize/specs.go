@@ -1,0 +1,148 @@
+package linearize
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Action codes shared by the bundled specifications.
+const (
+	ActEnqueue  = iota + 1 // Input = value; OK ignored
+	ActDequeue             // Output = value if OK, empty if !OK
+	ActPush                // Input = value
+	ActPop                 // Output = value if OK, empty if !OK
+	ActAdd                 // Input = key; OK = was absent
+	ActRemove              // Input = key; OK = was present
+	ActContains            // Input = key; OK = present
+)
+
+// QueueSpec is the sequential FIFO queue specification.
+type QueueSpec struct{}
+
+// Init returns the empty queue state.
+func (QueueSpec) Init() State { return queueState{} }
+
+// queueState is an immutable FIFO queue (persistent slice semantics:
+// Apply always copies).
+type queueState struct {
+	vals string // encoded values, comma separated (ints)
+}
+
+func encodeSeq(vals []int64) string {
+	parts := make([]string, len(vals))
+	for i, v := range vals {
+		parts[i] = fmt.Sprint(v)
+	}
+	return strings.Join(parts, ",")
+}
+
+func decodeSeq(s string) []int64 {
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	vals := make([]int64, len(parts))
+	for i, p := range parts {
+		fmt.Sscan(p, &vals[i])
+	}
+	return vals
+}
+
+// Apply implements State.
+func (q queueState) Apply(op Op) (State, bool) {
+	switch op.Action {
+	case ActEnqueue:
+		vals := decodeSeq(q.vals)
+		return queueState{vals: encodeSeq(append(vals, op.Input))}, true
+	case ActDequeue:
+		vals := decodeSeq(q.vals)
+		if !op.OK {
+			return q, len(vals) == 0
+		}
+		if len(vals) == 0 || vals[0] != op.Output {
+			return q, false
+		}
+		return queueState{vals: encodeSeq(vals[1:])}, true
+	}
+	return q, false
+}
+
+// Key implements State.
+func (q queueState) Key() string { return q.vals }
+
+// StackSpec is the sequential LIFO stack specification.
+type StackSpec struct{}
+
+// Init returns the empty stack state.
+func (StackSpec) Init() State { return stackState{} }
+
+type stackState struct {
+	vals string
+}
+
+// Apply implements State.
+func (s stackState) Apply(op Op) (State, bool) {
+	switch op.Action {
+	case ActPush:
+		vals := decodeSeq(s.vals)
+		return stackState{vals: encodeSeq(append(vals, op.Input))}, true
+	case ActPop:
+		vals := decodeSeq(s.vals)
+		if !op.OK {
+			return s, len(vals) == 0
+		}
+		if len(vals) == 0 || vals[len(vals)-1] != op.Output {
+			return s, false
+		}
+		return stackState{vals: encodeSeq(vals[:len(vals)-1])}, true
+	}
+	return s, false
+}
+
+// Key implements State.
+func (s stackState) Key() string { return s.vals }
+
+// SetSpec is the sequential integer-set specification (add/remove/
+// contains with the usual boolean results).
+type SetSpec struct{}
+
+// Init returns the empty set state.
+func (SetSpec) Init() State { return setState{} }
+
+type setState struct {
+	keys string // sorted, comma separated
+}
+
+// Apply implements State.
+func (s setState) Apply(op Op) (State, bool) {
+	keys := decodeSeq(s.keys)
+	idx := sort.Search(len(keys), func(i int) bool { return keys[i] >= op.Input })
+	present := idx < len(keys) && keys[idx] == op.Input
+	switch op.Action {
+	case ActContains:
+		return s, op.OK == present
+	case ActAdd:
+		if op.OK == present {
+			return s, false
+		}
+		if !op.OK {
+			return s, true // failed add: present, state unchanged
+		}
+		keys = append(keys[:idx], append([]int64{op.Input}, keys[idx:]...)...)
+		return setState{keys: encodeSeq(keys)}, true
+	case ActRemove:
+		if op.OK != present {
+			return s, false
+		}
+		if !op.OK {
+			return s, true // failed remove: absent, state unchanged
+		}
+		keys = append(keys[:idx], keys[idx+1:]...)
+		return setState{keys: encodeSeq(keys)}, true
+	}
+	return s, false
+}
+
+// Key implements State.
+func (s setState) Key() string { return s.keys }

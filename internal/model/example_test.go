@@ -1,0 +1,43 @@
+package model_test
+
+import (
+	"fmt"
+
+	"pimds/internal/model"
+)
+
+// Example reproduces the paper's headline queue ratios from the model.
+func Example() {
+	pr := model.DefaultParams() // r1 = r2 = 3, r3 = 1
+	fmt.Printf("PIM queue vs FC queue:  %.0f×\n", model.PIMQueueVsFCSpeedup(pr))
+	fmt.Printf("PIM queue vs F&A queue: %.0f×\n", model.PIMQueueVsFAASpeedup(pr))
+	// Output:
+	// PIM queue vs FC queue:  2×
+	// PIM queue vs F&A queue: 3×
+}
+
+// ExampleTable1 prints the paper's Table 1 for a 1000-node list and 28
+// threads.
+func ExampleTable1() {
+	rows := model.Table1(model.DefaultParams(), model.ListConfig{N: 1000, P: 28})
+	for _, r := range rows {
+		fmt.Printf("%s: %s\n", r.Algorithm, model.FormatOps(r.OpsPerSec))
+	}
+	// Output:
+	// Linked-list with fine-grained locks: 621.60K ops/s
+	// Flat-combining linked-list without combining: 22.20K ops/s
+	// PIM-managed linked-list without combining: 66.60K ops/s
+	// Flat-combining linked-list with combining: 322.07K ops/s
+	// PIM-managed linked-list with combining: 966.20K ops/s
+}
+
+// ExampleMinKForPIMSkipWin shows the "k > p/r1" crossover for the PIM
+// skip-list at the paper's evaluation scale.
+func ExampleMinKForPIMSkipWin() {
+	pr := model.DefaultParams()
+	sc := model.SkipConfig{N: 1 << 16, P: 28}
+	fmt.Printf("partitions needed to beat %d lock-free threads: %d\n",
+		sc.P, model.MinKForPIMSkipWin(pr, sc))
+	// Output:
+	// partitions needed to beat 28 lock-free threads: 11
+}

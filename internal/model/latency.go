@@ -1,0 +1,64 @@
+package model
+
+import (
+	"math"
+	"time"
+)
+
+// Closed-form operation latencies for the PIM structures — an
+// extension of the paper's throughput-only model. All results are mean
+// response times for a closed-loop client.
+//
+// The generic form is
+//
+//	latency = Lmessage + queueing + service + Lmessage
+//
+// where service is the structure's per-operation vault work and
+// queueing is the wait behind other clients' requests at the core: a
+// saturated core serves p closed-loop clients round-robin, so each
+// waits (p−1) service times, giving latency ≈ max(round trip, p·service).
+
+func secToDuration(s float64) time.Duration {
+	return time.Duration(math.Round(s*1e9)) * time.Nanosecond
+}
+
+// ListLatencyNaive is the naive PIM list's mean response time: two
+// message transfers plus an expected (n+1)/2-node traversal, scaled by
+// queueing when p clients share the core.
+func ListLatencyNaive(pr Params, c ListConfig) time.Duration {
+	service := float64(c.N+1) / 2 * pr.lpimSec()
+	return latencyOf(pr, service, c.P)
+}
+
+// SkipLatency is the partitioned PIM skip-list's mean response time
+// with β-node traversals and p/k clients per partition on average.
+func SkipLatency(pr Params, c SkipConfig) time.Duration {
+	perCore := c.P
+	if c.K > 1 {
+		perCore = (c.P + c.K - 1) / c.K
+	}
+	service := c.beta() * pr.lpimSec()
+	return latencyOf(pr, service, perCore)
+}
+
+// QueueLatency is the pipelined PIM queue's mean response time for one
+// side served by one core with p closed-loop clients: a single vault
+// access of service, so under saturation latency ≈ p·Lpim.
+func QueueLatency(pr Params, c QueueConfig) time.Duration {
+	return latencyOf(pr, pr.lpimSec(), c.P)
+}
+
+// latencyOf combines the round trip with round-robin queueing at a
+// single core: below saturation the round trip dominates; at
+// saturation each client waits p service times.
+func latencyOf(pr Params, serviceSec float64, p int) time.Duration {
+	if p < 1 {
+		p = 1
+	}
+	roundTrip := 2*pr.lmsgSec() + serviceSec
+	saturated := float64(p) * serviceSec
+	if saturated > roundTrip {
+		return secToDuration(saturated)
+	}
+	return secToDuration(roundTrip)
+}

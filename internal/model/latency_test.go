@@ -1,0 +1,56 @@
+package model
+
+import (
+	"testing"
+	"time"
+)
+
+func TestListLatencyNaiveLowLoad(t *testing.T) {
+	pr := DefaultParams()
+	// n = 200, p = 1: 180ns messages + 100.5 × 30ns traversal ≈ 3.2µs.
+	got := ListLatencyNaive(pr, ListConfig{N: 200, P: 1})
+	want := 3195 * time.Nanosecond
+	if got != want {
+		t.Errorf("latency = %v, want %v", got, want)
+	}
+}
+
+func TestQueueLatencyRegimes(t *testing.T) {
+	pr := DefaultParams()
+	// p = 1: round trip dominates: 2×90 + 30 = 210ns.
+	if got := QueueLatency(pr, QueueConfig{P: 1}); got != 210*time.Nanosecond {
+		t.Errorf("p=1 latency = %v, want 210ns", got)
+	}
+	// p = 12: saturation: 12 × 30ns = 360ns.
+	if got := QueueLatency(pr, QueueConfig{P: 12}); got != 360*time.Nanosecond {
+		t.Errorf("p=12 latency = %v, want 360ns", got)
+	}
+	// Crossover at p = 7 (210/30).
+	if got := QueueLatency(pr, QueueConfig{P: 7}); got != 210*time.Nanosecond {
+		t.Errorf("p=7 latency = %v, want 210ns (still round-trip bound)", got)
+	}
+	if got := QueueLatency(pr, QueueConfig{P: 8}); got != 240*time.Nanosecond {
+		t.Errorf("p=8 latency = %v, want 240ns", got)
+	}
+}
+
+func TestSkipLatencySpreadsOverPartitions(t *testing.T) {
+	pr := DefaultParams()
+	c := SkipConfig{N: 1 << 13, P: 16, K: 8, BetaOverride: 20}
+	// 2 clients per partition; service = 20×30 = 600ns < round trip
+	// 780ns, and 2×600 = 1200ns > 780ns → saturated regime.
+	if got := SkipLatency(pr, c); got != 1200*time.Nanosecond {
+		t.Errorf("latency = %v, want 1.2µs", got)
+	}
+	c.K = 16 // one client per partition: round trip bound
+	if got := SkipLatency(pr, c); got != 780*time.Nanosecond {
+		t.Errorf("latency = %v, want 780ns", got)
+	}
+}
+
+func TestLatencyDegenerateP(t *testing.T) {
+	pr := DefaultParams()
+	if QueueLatency(pr, QueueConfig{P: 0}) != QueueLatency(pr, QueueConfig{P: 1}) {
+		t.Error("p=0 should clamp to 1")
+	}
+}

@@ -1,0 +1,152 @@
+package model
+
+import "math"
+
+// Sp computes S_p = Σ_{i=1..n} (i/(n+1))^p, the correction term in the
+// combining rows of Table 1. n−Sp is the expected number of pointers a
+// combiner (or PIM core) traverses to serve a batch of p uniformly
+// random requests in a single pass: it is the expected position of the
+// largest of p uniform keys in an (n+1)-slot list.
+//
+// The paper notes 0 < Sp ≤ n/2 for p ≥ 1 (Sp = n/2 exactly at p = 1).
+func Sp(n, p int) float64 {
+	if n <= 0 || p <= 0 {
+		return 0
+	}
+	// Direct summation is O(n) and numerically stable: terms are in
+	// (0,1] and increase monotonically, so summing small-to-large
+	// keeps relative error tiny.
+	s := 0.0
+	np1 := float64(n + 1)
+	for i := 1; i <= n; i++ {
+		s += math.Pow(float64(i)/np1, float64(p))
+	}
+	return s
+}
+
+// ListConfig describes the linked-list workload of Section 4.1: a list
+// holding n nodes with keys uniform in [1,N], accessed by p CPU threads
+// issuing closed-loop requests with uniformly random keys and a balanced
+// add/delete mix (so the size stays near n).
+type ListConfig struct {
+	N int // list size (number of nodes, excluding the dummy head)
+	P int // number of CPU threads issuing requests
+}
+
+// Table 1 rows. Each function returns the expected throughput in
+// operations per second under params pr.
+
+// ListFineGrainedLocks is the linked-list with fine-grained locks
+// (row 1 of Table 1): each of p threads traverses (n+1)/2 nodes per
+// operation at CPU latency, all p in parallel:
+//
+//	throughput = 2p / ((n+1)·Lcpu)
+func ListFineGrainedLocks(pr Params, c ListConfig) float64 {
+	return perSecond(float64(c.N+1) * pr.lcpuSec() / (2 * float64(c.P)))
+}
+
+// ListFCNoCombining is the flat-combining linked-list without the
+// combining optimization (row 2): a single combiner traverses (n+1)/2
+// nodes per request at CPU latency:
+//
+//	throughput = 2 / ((n+1)·Lcpu)
+func ListFCNoCombining(pr Params, c ListConfig) float64 {
+	return perSecond(float64(c.N+1) * pr.lcpuSec() / 2)
+}
+
+// ListPIMNoCombining is the naive PIM-managed linked-list (row 3): the
+// PIM core serves one request per traversal at PIM latency:
+//
+//	throughput = 2 / ((n+1)·Lpim)
+func ListPIMNoCombining(pr Params, c ListConfig) float64 {
+	return perSecond(float64(c.N+1) * pr.lpimSec() / 2)
+}
+
+// ListFCCombining is the flat-combining linked-list with the combining
+// optimization (row 4): the combiner serves a batch of p requests in one
+// traversal of expected length n − Sp:
+//
+//	throughput = p / ((n−Sp)·Lcpu)
+func ListFCCombining(pr Params, c ListConfig) float64 {
+	walk := float64(c.N) - Sp(c.N, c.P)
+	return perSecond(walk * pr.lcpuSec() / float64(c.P))
+}
+
+// ListPIMCombining is the PIM-managed linked-list with combining
+// (row 5, the paper's proposal):
+//
+//	throughput = p / ((n−Sp)·Lpim)
+func ListPIMCombining(pr Params, c ListConfig) float64 {
+	walk := float64(c.N) - Sp(c.N, c.P)
+	return perSecond(walk * pr.lpimSec() / float64(c.P))
+}
+
+// ListAlgorithm names one row of Table 1.
+type ListAlgorithm int
+
+// The five linked-list variants of Table 1, in row order.
+const (
+	FineGrainedLockList ListAlgorithm = iota
+	FCListNoCombining
+	PIMListNoCombining
+	FCListCombining
+	PIMListCombining
+)
+
+var listAlgoNames = [...]string{
+	"Linked-list with fine-grained locks",
+	"Flat-combining linked-list without combining",
+	"PIM-managed linked-list without combining",
+	"Flat-combining linked-list with combining",
+	"PIM-managed linked-list with combining",
+}
+
+// String returns the row label used in Table 1.
+func (a ListAlgorithm) String() string {
+	if a < 0 || int(a) >= len(listAlgoNames) {
+		return "unknown linked-list algorithm"
+	}
+	return listAlgoNames[a]
+}
+
+// ListAlgorithms lists the Table 1 rows in order.
+func ListAlgorithms() []ListAlgorithm {
+	return []ListAlgorithm{FineGrainedLockList, FCListNoCombining, PIMListNoCombining, FCListCombining, PIMListCombining}
+}
+
+// ListThroughput dispatches to the Table 1 row for a.
+func ListThroughput(a ListAlgorithm, pr Params, c ListConfig) float64 {
+	switch a {
+	case FineGrainedLockList:
+		return ListFineGrainedLocks(pr, c)
+	case FCListNoCombining:
+		return ListFCNoCombining(pr, c)
+	case PIMListNoCombining:
+		return ListPIMNoCombining(pr, c)
+	case FCListCombining:
+		return ListFCCombining(pr, c)
+	case PIMListCombining:
+		return ListPIMCombining(pr, c)
+	}
+	return 0
+}
+
+// MinR1ForPIMListWin returns the smallest r1 = Lcpu/Lpim at which the
+// PIM-managed linked-list with combining matches the linked-list with
+// fine-grained locks (the strongest baseline): r1 = 2(n−Sp)/(n+1).
+// Since 0 < Sp ≤ n/2, the result is always below 2, which is the
+// paper's "r1 ≥ 2 always suffices" claim.
+func MinR1ForPIMListWin(c ListConfig) float64 {
+	return 2 * (float64(c.N) - Sp(c.N, c.P)) / float64(c.N+1)
+}
+
+// MaxThreadsNaivePIMListWins returns the largest thread count p at which
+// the naive (no combining) PIM list still beats fine-grained locks:
+// p < r1, so the answer is ceil(r1)−1.
+func MaxThreadsNaivePIMListWins(pr Params) int {
+	p := int(math.Ceil(pr.R1)) - 1
+	if p < 0 {
+		p = 0
+	}
+	return p
+}

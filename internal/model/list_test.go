@@ -1,0 +1,259 @@
+package model
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	if a == b {
+		return true
+	}
+	return math.Abs(a-b) <= tol*math.Max(math.Abs(a), math.Abs(b))
+}
+
+func TestSpKnownValues(t *testing.T) {
+	// p = 1: Sp = Σ i/(n+1) = n/2 exactly.
+	for _, n := range []int{1, 2, 10, 100, 1000} {
+		got := Sp(n, 1)
+		want := float64(n) / 2
+		if !almostEqual(got, want, 1e-12) {
+			t.Errorf("Sp(%d, 1) = %v, want %v", n, got, want)
+		}
+	}
+	// n = 1: Sp = (1/2)^p.
+	for p := 1; p <= 10; p++ {
+		got := Sp(1, p)
+		want := math.Pow(0.5, float64(p))
+		if !almostEqual(got, want, 1e-12) {
+			t.Errorf("Sp(1, %d) = %v, want %v", p, got, want)
+		}
+	}
+}
+
+func TestSpDegenerateInputs(t *testing.T) {
+	if Sp(0, 5) != 0 {
+		t.Errorf("Sp(0,5) = %v, want 0", Sp(0, 5))
+	}
+	if Sp(5, 0) != 0 {
+		t.Errorf("Sp(5,0) = %v, want 0", Sp(5, 0))
+	}
+	if Sp(-3, 2) != 0 || Sp(3, -2) != 0 {
+		t.Error("negative inputs should yield 0")
+	}
+}
+
+// TestSpBounds checks the paper's stated bound 0 < Sp ≤ n/2.
+func TestSpBounds(t *testing.T) {
+	f := func(nRaw, pRaw uint8) bool {
+		n := int(nRaw%200) + 1
+		p := int(pRaw%64) + 1
+		s := Sp(n, p)
+		return s > 0 && s <= float64(n)/2+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSpMonotonicInP checks Sp strictly decreases as p grows (each term
+// (i/(n+1))^p shrinks), which drives the combining speedup.
+func TestSpMonotonicInP(t *testing.T) {
+	f := func(nRaw, pRaw uint8) bool {
+		n := int(nRaw%200) + 1
+		p := int(pRaw%63) + 1
+		return Sp(n, p+1) < Sp(n, p)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDefaultParamsDerivedLatencies(t *testing.T) {
+	pr := DefaultParams()
+	if err := pr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := pr.Lpim(), 30*time.Nanosecond; got != want {
+		t.Errorf("Lpim = %v, want %v", got, want)
+	}
+	if got, want := pr.Lllc(), 30*time.Nanosecond; got != want {
+		t.Errorf("Lllc = %v, want %v", got, want)
+	}
+	if got, want := pr.Latomic(), 90*time.Nanosecond; got != want {
+		t.Errorf("Latomic = %v, want %v", got, want)
+	}
+	if got, want := pr.Lmessage(), 90*time.Nanosecond; got != want {
+		t.Errorf("Lmessage = %v, want %v", got, want)
+	}
+}
+
+func TestParamsValidate(t *testing.T) {
+	cases := []Params{
+		{Lcpu: 0, R1: 3, R2: 3, R3: 1},
+		{Lcpu: time.Nanosecond, R1: 0, R2: 3, R3: 1},
+		{Lcpu: time.Nanosecond, R1: 3, R2: -1, R3: 1},
+		{Lcpu: time.Nanosecond, R1: 3, R2: 3, R3: 0},
+	}
+	for _, pr := range cases {
+		if err := pr.Validate(); err == nil {
+			t.Errorf("Validate(%+v) = nil, want error", pr)
+		}
+	}
+}
+
+func TestTable1HandChecked(t *testing.T) {
+	// n = 999, p = 1, Lcpu = 100ns, r1 = 2: hand-checkable numbers.
+	pr := Params{Lcpu: 100 * time.Nanosecond, R1: 2, R2: 2, R3: 1}
+	c := ListConfig{N: 999, P: 1}
+
+	// Fine-grained locks: 2·1/(1000·100ns) = 20000 ops/s.
+	if got := ListFineGrainedLocks(pr, c); !almostEqual(got, 20000, 1e-9) {
+		t.Errorf("fine-grained = %v, want 20000", got)
+	}
+	// FC without combining equals fine-grained at p = 1.
+	if got := ListFCNoCombining(pr, c); !almostEqual(got, 20000, 1e-9) {
+		t.Errorf("fc no-combining = %v, want 20000", got)
+	}
+	// PIM without combining is r1× the FC value.
+	if got := ListPIMNoCombining(pr, c); !almostEqual(got, 40000, 1e-9) {
+		t.Errorf("pim no-combining = %v, want 40000", got)
+	}
+	// With p = 1 combining serves 1 request per traversal of n−S1 =
+	// 999−499.5 = 499.5 nodes: 1/(499.5·100ns) ≈ 20020 ops/s.
+	if got := ListFCCombining(pr, c); !almostEqual(got, 1/(499.5*100e-9), 1e-9) {
+		t.Errorf("fc combining = %v", got)
+	}
+}
+
+// TestListClaimNaivePIMLosesAtR1Threads reproduces the Section 1/4.1
+// claim: even at r1 = 2, a sequential PIM list is slower than the
+// concurrent list with only three CPU threads (p = 3 ≥ r1).
+func TestListClaimNaivePIMLosesAtR1Threads(t *testing.T) {
+	pr := DefaultParams()
+	pr.R1 = 2
+	c := ListConfig{N: 1000, P: 3}
+	if ListPIMNoCombining(pr, c) >= ListFineGrainedLocks(pr, c) {
+		t.Error("naive PIM list should lose to fine-grained locks at p=3, r1=2")
+	}
+}
+
+// TestListClaimCombiningWinsAtR1Two reproduces "the PIM-managed
+// linked-list can outperform the linked-list with fine-grained locks as
+// long as r1 ≥ 2".
+func TestListClaimCombiningWinsAtR1Two(t *testing.T) {
+	f := func(nRaw uint16, pRaw uint8) bool {
+		n := int(nRaw%5000) + 10
+		p := int(pRaw%64) + 1
+		pr := DefaultParams()
+		pr.R1 = 2
+		c := ListConfig{N: n, P: p}
+		return ListPIMCombining(pr, c) >= ListFineGrainedLocks(pr, c)*(1-1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestListClaim15xAtR1Three reproduces "if r1 = 3 the PIM list with
+// combining is at least 1.5× the fine-grained-lock list".
+func TestListClaim15xAtR1Three(t *testing.T) {
+	f := func(nRaw uint16, pRaw uint8) bool {
+		n := int(nRaw%5000) + 10
+		p := int(pRaw%64) + 1
+		pr := DefaultParams() // r1 = 3
+		c := ListConfig{N: n, P: p}
+		return ListPIMCombining(pr, c) >= 1.5*ListFineGrainedLocks(pr, c)*(1-1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPIMListIsR1TimesFC reproduces "the PIM-managed linked-list is
+// expected to be r1 times better than the flat-combining linked-list,
+// with or without the combining optimization applied to both".
+func TestPIMListIsR1TimesFC(t *testing.T) {
+	pr := DefaultParams()
+	c := ListConfig{N: 1234, P: 8}
+	if got := ListPIMCombining(pr, c) / ListFCCombining(pr, c); !almostEqual(got, pr.R1, 1e-9) {
+		t.Errorf("combining ratio = %v, want %v", got, pr.R1)
+	}
+	if got := ListPIMNoCombining(pr, c) / ListFCNoCombining(pr, c); !almostEqual(got, pr.R1, 1e-9) {
+		t.Errorf("no-combining ratio = %v, want %v", got, pr.R1)
+	}
+}
+
+func TestMinR1ForPIMListWinBelowTwo(t *testing.T) {
+	f := func(nRaw uint16, pRaw uint8) bool {
+		c := ListConfig{N: int(nRaw%5000) + 1, P: int(pRaw%64) + 1}
+		r1 := MinR1ForPIMListWin(c)
+		return r1 > 0 && r1 < 2
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMaxThreadsNaivePIMListWins(t *testing.T) {
+	pr := DefaultParams() // r1 = 3
+	if got := MaxThreadsNaivePIMListWins(pr); got != 2 {
+		t.Errorf("got %d, want 2 (naive PIM wins only below p = r1 = 3)", got)
+	}
+	pr.R1 = 2.5
+	if got := MaxThreadsNaivePIMListWins(pr); got != 2 {
+		t.Errorf("got %d, want 2 for r1 = 2.5", got)
+	}
+}
+
+// TestListThroughputMonotonicInThreads: parallel algorithms scale with
+// p; single-combiner algorithms must not.
+func TestListThroughputMonotonicInThreads(t *testing.T) {
+	pr := DefaultParams()
+	for p := 1; p < 32; p++ {
+		a := ListFineGrainedLocks(pr, ListConfig{N: 500, P: p})
+		b := ListFineGrainedLocks(pr, ListConfig{N: 500, P: p + 1})
+		if b <= a {
+			t.Fatalf("fine-grained throughput not increasing at p=%d: %v -> %v", p, a, b)
+		}
+		fc1 := ListFCNoCombining(pr, ListConfig{N: 500, P: p})
+		fc2 := ListFCNoCombining(pr, ListConfig{N: 500, P: p + 1})
+		if fc1 != fc2 {
+			t.Fatalf("fc-no-combining depends on p: %v vs %v", fc1, fc2)
+		}
+	}
+}
+
+func TestListAlgorithmString(t *testing.T) {
+	if FineGrainedLockList.String() != "Linked-list with fine-grained locks" {
+		t.Error("unexpected label for FineGrainedLockList")
+	}
+	if ListAlgorithm(99).String() != "unknown linked-list algorithm" {
+		t.Error("out-of-range algorithm should have fallback label")
+	}
+	if len(ListAlgorithms()) != 5 {
+		t.Error("Table 1 must have 5 rows")
+	}
+}
+
+func TestListThroughputDispatchMatchesDirect(t *testing.T) {
+	pr := DefaultParams()
+	c := ListConfig{N: 777, P: 7}
+	direct := []float64{
+		ListFineGrainedLocks(pr, c),
+		ListFCNoCombining(pr, c),
+		ListPIMNoCombining(pr, c),
+		ListFCCombining(pr, c),
+		ListPIMCombining(pr, c),
+	}
+	for i, a := range ListAlgorithms() {
+		if got := ListThroughput(a, pr, c); got != direct[i] {
+			t.Errorf("dispatch mismatch for %v: %v != %v", a, got, direct[i])
+		}
+	}
+	if got := ListThroughput(ListAlgorithm(99), pr, c); got != 0 {
+		t.Errorf("unknown algorithm throughput = %v, want 0", got)
+	}
+}

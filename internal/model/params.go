@@ -1,0 +1,117 @@
+// Package model implements the analytical performance model of
+// Liu, Calciu, Herlihy and Mutlu, "Concurrent Data Structures for
+// Near-Memory Computing" (SPAA 2017), Section 3.
+//
+// The model expresses the cost of every operation of a concurrent data
+// structure in terms of four primitive latencies:
+//
+//	Lcpu     — a memory access by a CPU core
+//	Lpim     — a local vault access by a PIM core
+//	Lllc     — a last-level-cache access by a CPU core
+//	Latomic  — an atomic operation (CAS, F&A) by a CPU core
+//
+// related by three ratios,
+//
+//	Lcpu = r1·Lpim = r2·Lllc,   Latomic = r3·Lcpu,
+//
+// with the paper's headline assumption r1 = r2 = 3 and r3 = 1. Message
+// transfer between any two cores costs Lmessage = Lcpu. When k atomic
+// operations contend for one cache line they serialize and complete at
+// times Latomic, 2·Latomic, …, k·Latomic.
+//
+// All throughput functions in this package return operations per second.
+package model
+
+import (
+	"fmt"
+	"time"
+)
+
+// Default latency ratios assumed throughout the paper (Section 3).
+const (
+	DefaultR1 = 3.0 // Lcpu / Lpim
+	DefaultR2 = 3.0 // Lcpu / Lllc
+	DefaultR3 = 1.0 // Latomic / Lcpu
+)
+
+// DefaultLcpu is the default absolute latency of a CPU memory access.
+// The paper reasons only about ratios; an absolute anchor is needed to
+// report throughput in operations per second. 90 ns is in line with the
+// DRAM access latencies of the Xeon E7 generation used in the paper's
+// evaluation and divides evenly by r1 = r2 = 3.
+const DefaultLcpu = 90 * time.Nanosecond
+
+// Params fixes the latency model. The zero value is not useful; use
+// DefaultParams or fill every field.
+type Params struct {
+	// Lcpu is the latency of a memory access from a CPU core.
+	Lcpu time.Duration
+	// R1 is Lcpu/Lpim: how much faster a PIM core reaches its vault
+	// than a CPU core reaches memory.
+	R1 float64
+	// R2 is Lcpu/Lllc: how much faster the last-level cache is than
+	// memory for a CPU core.
+	R2 float64
+	// R3 is Latomic/Lcpu: the relative cost of an atomic operation,
+	// charged even on a cache hit.
+	R3 float64
+}
+
+// DefaultParams returns the paper's parameters: r1 = r2 = 3, r3 = 1,
+// anchored at Lcpu = DefaultLcpu.
+func DefaultParams() Params {
+	return Params{Lcpu: DefaultLcpu, R1: DefaultR1, R2: DefaultR2, R3: DefaultR3}
+}
+
+// Validate reports whether the parameters are internally consistent.
+func (p Params) Validate() error {
+	if p.Lcpu <= 0 {
+		return fmt.Errorf("model: Lcpu must be positive, got %v", p.Lcpu)
+	}
+	if p.R1 <= 0 || p.R2 <= 0 || p.R3 <= 0 {
+		return fmt.Errorf("model: ratios must be positive, got r1=%v r2=%v r3=%v", p.R1, p.R2, p.R3)
+	}
+	return nil
+}
+
+// Lpim is the latency of a local vault access from a PIM core.
+func (p Params) Lpim() time.Duration {
+	return time.Duration(float64(p.Lcpu) / p.R1)
+}
+
+// Lllc is the latency of a last-level cache access from a CPU core.
+func (p Params) Lllc() time.Duration {
+	return time.Duration(float64(p.Lcpu) / p.R2)
+}
+
+// Latomic is the latency of an uncontended atomic operation by a CPU.
+func (p Params) Latomic() time.Duration {
+	return time.Duration(p.R3 * float64(p.Lcpu))
+}
+
+// Lmessage is the transfer latency of one message between any two cores
+// (CPU↔PIM or PIM↔PIM). The paper conservatively sets it equal to Lcpu.
+func (p Params) Lmessage() time.Duration { return p.Lcpu }
+
+// seconds converts a duration to float64 seconds for throughput math.
+func seconds(d time.Duration) float64 { return d.Seconds() }
+
+// The throughput formulas use these float-second accessors rather than
+// the Duration methods above: deriving Lpim etc. as a time.Duration
+// truncates to whole nanoseconds, which perturbs the exact ratio
+// algebra (e.g. 2·r1/r2) the paper's conclusions rest on.
+
+func (p Params) lcpuSec() float64    { return seconds(p.Lcpu) }
+func (p Params) lpimSec() float64    { return seconds(p.Lcpu) / p.R1 }
+func (p Params) lllcSec() float64    { return seconds(p.Lcpu) / p.R2 }
+func (p Params) latomicSec() float64 { return p.R3 * seconds(p.Lcpu) }
+func (p Params) lmsgSec() float64    { return seconds(p.Lcpu) }
+
+// perSecond converts a per-operation cost into operations per second.
+// It returns 0 for non-positive costs to keep callers' math safe.
+func perSecond(cost float64) float64 {
+	if cost <= 0 {
+		return 0
+	}
+	return 1 / cost
+}

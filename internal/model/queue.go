@@ -1,0 +1,112 @@
+package model
+
+// FIFO queue analysis of Section 5.2. The paper derives upper bounds on
+// the throughput of the two baselines and the (near-exact) pipelined
+// throughput of the PIM-managed queue, for p threads issuing closed-loop
+// dequeue (or enqueue) requests against a long queue.
+
+// QueueConfig describes the FIFO-queue workload of Section 5.
+type QueueConfig struct {
+	P int // number of CPU threads issuing requests
+
+	// ShortQueue marks the single-segment regime in which the same
+	// PIM core must serve both enqueues and dequeues, halving the
+	// PIM-managed queue's throughput (end of Section 5.2).
+	ShortQueue bool
+}
+
+// QueueFAA bounds the F&A-based queue (Morrison–Afek [41]): every
+// operation performs one F&A on a shared variable; the p concurrent
+// F&As serialize, so
+//
+//	throughput ≤ 1 / Latomic.
+func QueueFAA(pr Params, _ QueueConfig) float64 {
+	return perSecond(pr.latomicSec())
+}
+
+// QueueFC bounds the flat-combining queue [25]: the combiner makes two
+// last-level-cache accesses per publication-list slot (read request,
+// write result), so for large p
+//
+//	throughput ≤ 1 / (2·Lllc).
+func QueueFC(pr Params, _ QueueConfig) float64 {
+	return perSecond(2 * pr.lllcSec())
+}
+
+// QueuePIM is the pipelined PIM-managed queue (Algorithm 1 with the
+// pipelining optimization): the PIM core overlaps the reply-message
+// transfer of request i with the vault accesses of request i+1, so the
+// steady-state cost per request is a single vault access:
+//
+//	throughput ≈ (1 − 2·Lmessage)/(Lpim + ε) ≈ 1 / Lpim,
+//
+// halved when the queue is short enough that one segment serves both
+// ends.
+func QueuePIM(pr Params, c QueueConfig) float64 {
+	t := perSecond(pr.lpimSec())
+	if c.ShortQueue {
+		t /= 2
+	}
+	return t
+}
+
+// QueueAlgorithm names one line of the Section 5.2 comparison.
+type QueueAlgorithm int
+
+// The three FIFO-queue variants compared in Section 5.2.
+const (
+	FAAQueue QueueAlgorithm = iota
+	FCQueue
+	PIMQueue
+)
+
+var queueAlgoNames = [...]string{
+	"F&A-based FIFO queue",
+	"Flat-combining FIFO queue",
+	"PIM-managed FIFO queue (pipelined)",
+}
+
+// String returns the label used in the Section 5.2 comparison.
+func (a QueueAlgorithm) String() string {
+	if a < 0 || int(a) >= len(queueAlgoNames) {
+		return "unknown FIFO queue algorithm"
+	}
+	return queueAlgoNames[a]
+}
+
+// QueueAlgorithms lists the Section 5.2 queue variants in order.
+func QueueAlgorithms() []QueueAlgorithm {
+	return []QueueAlgorithm{FAAQueue, FCQueue, PIMQueue}
+}
+
+// QueueThroughput dispatches to the Section 5.2 bound for a.
+func QueueThroughput(a QueueAlgorithm, pr Params, c QueueConfig) float64 {
+	switch a {
+	case FAAQueue:
+		return QueueFAA(pr, c)
+	case FCQueue:
+		return QueueFC(pr, c)
+	case PIMQueue:
+		return QueuePIM(pr, c)
+	}
+	return 0
+}
+
+// PIMQueueVsFCSpeedup is the modeled ratio of the pipelined PIM queue
+// over the flat-combining queue: 2·Lllc/Lpim = 2·r1/r2 (= 2 at the
+// paper's r1 = r2 = 3).
+func PIMQueueVsFCSpeedup(pr Params) float64 {
+	return 2 * pr.R1 / pr.R2
+}
+
+// PIMQueueVsFAASpeedup is the modeled ratio of the pipelined PIM queue
+// over the F&A queue: Latomic/Lpim = r1·r3 (= 3 at r1 = 3, r3 = 1).
+func PIMQueueVsFAASpeedup(pr Params) float64 {
+	return pr.R1 * pr.R3
+}
+
+// PIMQueueWins reports whether the model predicts the pipelined PIM
+// queue to beat both baselines: 2·r1/r2 > 1 and r1·r3 > 1.
+func PIMQueueWins(pr Params) bool {
+	return PIMQueueVsFCSpeedup(pr) > 1 && PIMQueueVsFAASpeedup(pr) > 1
+}

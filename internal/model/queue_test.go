@@ -1,0 +1,139 @@
+package model
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestQueueHandChecked(t *testing.T) {
+	pr := DefaultParams() // Lcpu=90ns, Lpim=Lllc=30ns, Latomic=90ns
+	c := QueueConfig{P: 16}
+
+	// F&A: 1/90ns ≈ 11.1M ops/s.
+	if got := QueueFAA(pr, c); !almostEqual(got, 1e9/90, 1e-9) {
+		t.Errorf("faa = %v, want %v", got, 1e9/90.0)
+	}
+	// FC: 1/(2·30ns) ≈ 16.7M ops/s.
+	if got := QueueFC(pr, c); !almostEqual(got, 1e9/60, 1e-9) {
+		t.Errorf("fc = %v, want %v", got, 1e9/60.0)
+	}
+	// PIM pipelined: 1/30ns ≈ 33.3M ops/s.
+	if got := QueuePIM(pr, c); !almostEqual(got, 1e9/30, 1e-9) {
+		t.Errorf("pim = %v, want %v", got, 1e9/30.0)
+	}
+}
+
+// TestQueuePaperRatios reproduces the paper's headline: at r1 = r2 = 3
+// and r3 = 1, the PIM queue is 2× the FC queue and 3× the F&A queue.
+func TestQueuePaperRatios(t *testing.T) {
+	pr := DefaultParams()
+	c := QueueConfig{P: 8}
+	if got := QueuePIM(pr, c) / QueueFC(pr, c); !almostEqual(got, 2, 1e-9) {
+		t.Errorf("PIM/FC = %v, want 2", got)
+	}
+	if got := QueuePIM(pr, c) / QueueFAA(pr, c); !almostEqual(got, 3, 1e-9) {
+		t.Errorf("PIM/F&A = %v, want 3", got)
+	}
+	if !PIMQueueWins(pr) {
+		t.Error("PIMQueueWins should hold at default params")
+	}
+}
+
+// TestQueueWinCondition checks the paper's win condition: the PIM queue
+// wins iff 2·r1/r2 > 1 and r1·r3 > 1.
+func TestQueueWinCondition(t *testing.T) {
+	f := func(r1Raw, r2Raw, r3Raw uint8) bool {
+		pr := Params{
+			Lcpu: 90 * time.Nanosecond,
+			R1:   0.25 + float64(r1Raw%40)/4,
+			R2:   0.25 + float64(r2Raw%40)/4,
+			R3:   0.25 + float64(r3Raw%8)/4,
+		}
+		c := QueueConfig{P: 8}
+		wins := QueuePIM(pr, c) > QueueFC(pr, c)*(1+1e-12) && QueuePIM(pr, c) > QueueFAA(pr, c)*(1+1e-12)
+		predicted := 2*pr.R1/pr.R2 > 1+1e-12 && pr.R1*pr.R3 > 1+1e-12
+		return wins == predicted
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQueueShortHalvesPIM: the single-segment regime halves the PIM
+// queue's throughput but the paper claims it is still at least as good
+// as both baselines at the default parameters.
+func TestQueueShortHalvesPIM(t *testing.T) {
+	pr := DefaultParams()
+	long := QueuePIM(pr, QueueConfig{P: 8})
+	short := QueuePIM(pr, QueueConfig{P: 8, ShortQueue: true})
+	if !almostEqual(short, long/2, 1e-9) {
+		t.Errorf("short = %v, want %v", short, long/2)
+	}
+	if short < QueueFAA(pr, QueueConfig{P: 8}) {
+		t.Error("short PIM queue should still be at least the F&A bound")
+	}
+	if short < QueueFC(pr, QueueConfig{P: 8})*(1-1e-9) {
+		t.Error("short PIM queue should still match the FC bound")
+	}
+}
+
+func TestQueueDispatchAndLabels(t *testing.T) {
+	pr := DefaultParams()
+	c := QueueConfig{P: 4}
+	direct := []float64{QueueFAA(pr, c), QueueFC(pr, c), QueuePIM(pr, c)}
+	for i, a := range QueueAlgorithms() {
+		if got := QueueThroughput(a, pr, c); got != direct[i] {
+			t.Errorf("dispatch mismatch for %v", a)
+		}
+		if a.String() == "unknown FIFO queue algorithm" {
+			t.Errorf("missing label for %d", a)
+		}
+	}
+	if QueueThroughput(QueueAlgorithm(9), pr, c) != 0 {
+		t.Error("unknown algorithm should yield 0")
+	}
+	if QueueAlgorithm(9).String() != "unknown FIFO queue algorithm" {
+		t.Error("fallback label missing")
+	}
+}
+
+func TestTablesHaveAllRows(t *testing.T) {
+	pr := DefaultParams()
+	t1 := Table1(pr, ListConfig{N: 1000, P: 8})
+	if len(t1) != 5 {
+		t.Fatalf("Table1 rows = %d, want 5", len(t1))
+	}
+	t2 := Table2(pr, SkipConfig{N: 1 << 16, P: 8, K: 8})
+	if len(t2) != 5 {
+		t.Fatalf("Table2 rows = %d, want 5", len(t2))
+	}
+	qt := QueueTable(pr, QueueConfig{P: 8})
+	if len(qt) != 3 {
+		t.Fatalf("QueueTable rows = %d, want 3", len(qt))
+	}
+	for _, rows := range [][]Row{t1, t2, qt} {
+		for _, r := range rows {
+			if r.Algorithm == "" || r.Formula == "" || r.OpsPerSec <= 0 {
+				t.Errorf("incomplete row %+v", r)
+			}
+		}
+	}
+}
+
+func TestFormatOps(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want string
+	}{
+		{2.5e9, "2.50G ops/s"},
+		{3.2e6, "3.20M ops/s"},
+		{1.5e3, "1.50K ops/s"},
+		{12, "12.00 ops/s"},
+	}
+	for _, c := range cases {
+		if got := FormatOps(c.in); got != c.want {
+			t.Errorf("FormatOps(%v) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}

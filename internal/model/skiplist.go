@@ -1,0 +1,162 @@
+package model
+
+import "math"
+
+// Beta returns β, the expected number of nodes a skip-list operation
+// inspects to locate its key. For a skip-list of size N with level
+// probability 1/2 the standard bound is β ≈ 2·log2 N (each of the
+// ~log2 N levels contributes an expected two horizontal steps). The
+// paper only states β = Θ(log N); the constant cancels in every ratio
+// the paper derives, so any fixed constant reproduces its conclusions.
+func Beta(n int) float64 {
+	if n < 2 {
+		return 1
+	}
+	return 2 * math.Log2(float64(n))
+}
+
+// SkipConfig describes the skip-list workload of Section 4.2: a
+// skip-list of size N accessed by P CPU threads with uniformly random
+// keys and a balanced add/remove mix, optionally divided into K
+// partitions of disjoint key ranges (one per vault / combiner).
+type SkipConfig struct {
+	N int // skip-list size
+	P int // number of CPU threads issuing requests
+	K int // number of partitions (1 = unpartitioned)
+
+	// BetaOverride, when positive, replaces Beta(N) so that callers
+	// can plug a measured path length into the model.
+	BetaOverride float64
+}
+
+func (c SkipConfig) beta() float64 {
+	if c.BetaOverride > 0 {
+		return c.BetaOverride
+	}
+	return Beta(c.N)
+}
+
+func (c SkipConfig) partitions() float64 {
+	if c.K < 1 {
+		return 1
+	}
+	return float64(c.K)
+}
+
+// Table 2 rows. Each returns operations per second.
+
+// SkipLockFree is the lock-free skip-list (row 1): p threads run fully
+// in parallel, each paying β CPU memory accesses per operation:
+//
+//	throughput = p / (β·Lcpu)
+func SkipLockFree(pr Params, c SkipConfig) float64 {
+	return perSecond(c.beta() * pr.lcpuSec() / float64(c.P))
+}
+
+// SkipFC is the flat-combining skip-list without partitioning (row 2):
+// a single combiner serves requests one at a time:
+//
+//	throughput = 1 / (β·Lcpu)
+func SkipFC(pr Params, c SkipConfig) float64 {
+	return perSecond(c.beta() * pr.lcpuSec())
+}
+
+// SkipPIM is the PIM-managed skip-list in a single vault (row 3): the
+// PIM core pays β vault accesses plus one reply message per operation:
+//
+//	throughput = 1 / (β·Lpim + Lmessage)
+func SkipPIM(pr Params, c SkipConfig) float64 {
+	return perSecond(c.beta()*pr.lpimSec() + pr.lmsgSec())
+}
+
+// SkipFCPartitioned is the flat-combining skip-list with k partitions
+// (row 4): k combiners serve disjoint key ranges in parallel:
+//
+//	throughput = k / (β·Lcpu)
+func SkipFCPartitioned(pr Params, c SkipConfig) float64 {
+	return perSecond(c.beta() * pr.lcpuSec() / c.partitions())
+}
+
+// SkipPIMPartitioned is the PIM-managed skip-list with k partitions
+// (row 5, the paper's proposal): k PIM cores serve disjoint key ranges:
+//
+//	throughput = k / (β·Lpim + Lmessage)
+func SkipPIMPartitioned(pr Params, c SkipConfig) float64 {
+	return perSecond((c.beta()*pr.lpimSec() + pr.lmsgSec()) / c.partitions())
+}
+
+// SkipAlgorithm names one row of Table 2.
+type SkipAlgorithm int
+
+// The five skip-list variants of Table 2, in row order.
+const (
+	LockFreeSkip SkipAlgorithm = iota
+	FCSkip
+	PIMSkip
+	FCSkipPartitioned
+	PIMSkipPartitioned
+)
+
+var skipAlgoNames = [...]string{
+	"Lock-free skip-list",
+	"Flat-combining skip-list",
+	"PIM-managed skip-list",
+	"Flat-combining skip-list with k partitions",
+	"PIM-managed skip-list with k partitions",
+}
+
+// String returns the row label used in Table 2.
+func (a SkipAlgorithm) String() string {
+	if a < 0 || int(a) >= len(skipAlgoNames) {
+		return "unknown skip-list algorithm"
+	}
+	return skipAlgoNames[a]
+}
+
+// SkipAlgorithms lists the Table 2 rows in order.
+func SkipAlgorithms() []SkipAlgorithm {
+	return []SkipAlgorithm{LockFreeSkip, FCSkip, PIMSkip, FCSkipPartitioned, PIMSkipPartitioned}
+}
+
+// SkipThroughput dispatches to the Table 2 row for a.
+func SkipThroughput(a SkipAlgorithm, pr Params, c SkipConfig) float64 {
+	switch a {
+	case LockFreeSkip:
+		return SkipLockFree(pr, c)
+	case FCSkip:
+		return SkipFC(pr, c)
+	case PIMSkip:
+		return SkipPIM(pr, c)
+	case FCSkipPartitioned:
+		return SkipFCPartitioned(pr, c)
+	case PIMSkipPartitioned:
+		return SkipPIMPartitioned(pr, c)
+	}
+	return 0
+}
+
+// MinKForPIMSkipWin returns the smallest integer partition count k at
+// which the PIM-managed skip-list overtakes the lock-free skip-list
+// accessed by c.P threads:
+//
+//	k > p·(β·Lpim + Lmessage) / (β·Lcpu)
+//
+// With Lmessage = Lcpu = r1·Lpim and β = Θ(log N) this is roughly
+// p/r1 + p/β, which is the paper's "k > p/r1 should suffice".
+func MinKForPIMSkipWin(pr Params, c SkipConfig) int {
+	beta := c.beta()
+	threshold := float64(c.P) * (beta*pr.lpimSec() + pr.lmsgSec()) / (beta * pr.lcpuSec())
+	k := int(math.Floor(threshold)) + 1
+	if k < 1 {
+		k = 1
+	}
+	return k
+}
+
+// PIMSkipVsFCSpeedup returns the modeled throughput ratio of the
+// PIM-managed skip-list over the flat-combining skip-list at equal
+// partition counts: β·r1 / (β + r1) ≈ r1 for large β.
+func PIMSkipVsFCSpeedup(pr Params, c SkipConfig) float64 {
+	beta := c.beta()
+	return beta * pr.R1 / (beta + pr.R1)
+}

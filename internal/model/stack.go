@@ -1,0 +1,49 @@
+package model
+
+// Stack analysis — this repository's application of the paper's §5
+// method to the other contended structure Section 5 names ("the top
+// pointer of a stack"). The bounds are derived exactly like the queue
+// bounds: Treiber's stack CASes one shared top pointer, the FC stack
+// pays two LLC accesses per served request, and the PIM stack's core
+// pipelines replies, paying one vault access per operation. A stack
+// has only one hot end, so there is no long-queue doubling: the PIM
+// stack always runs in the single-segment regime.
+
+// StackConfig describes the stack workload: p threads in a closed
+// push/pop loop.
+type StackConfig struct {
+	P int
+}
+
+// StackTreiber bounds Treiber's lock-free stack: every operation CASes
+// the top pointer, serializing at Latomic:
+//
+//	throughput ≤ 1 / Latomic.
+func StackTreiber(pr Params, _ StackConfig) float64 {
+	return perSecond(pr.latomicSec())
+}
+
+// StackFC bounds the flat-combining stack: the combiner pays two
+// last-level-cache accesses per served request:
+//
+//	throughput ≤ 1 / (2·Lllc).
+func StackFC(pr Params, _ StackConfig) float64 {
+	return perSecond(2 * pr.lllcSec())
+}
+
+// StackPIM is the pipelined PIM-managed stack: one vault access per
+// operation at the top-segment core:
+//
+//	throughput ≈ 1 / Lpim.
+func StackPIM(pr Params, _ StackConfig) float64 {
+	return perSecond(pr.lpimSec())
+}
+
+// StackTable evaluates the three stack bounds.
+func StackTable(pr Params, c StackConfig) []Row {
+	return []Row{
+		{Algorithm: "Treiber lock-free stack", Formula: "1 / Latomic", OpsPerSec: StackTreiber(pr, c)},
+		{Algorithm: "Flat-combining stack", Formula: "1 / (2·Lllc)", OpsPerSec: StackFC(pr, c)},
+		{Algorithm: "PIM-managed stack (pipelined)", Formula: "≈ 1 / Lpim", OpsPerSec: StackPIM(pr, c)},
+	}
+}

@@ -1,0 +1,34 @@
+package model
+
+import "testing"
+
+func TestStackBoundsMirrorQueue(t *testing.T) {
+	pr := DefaultParams()
+	c := StackConfig{P: 8}
+	// The stack bounds coincide with the queue's per-side bounds.
+	if StackTreiber(pr, c) != QueueFAA(pr, QueueConfig{P: 8}) {
+		t.Error("Treiber bound should equal the F&A bound (one atomic per op)")
+	}
+	if StackFC(pr, c) != QueueFC(pr, QueueConfig{P: 8}) {
+		t.Error("FC stack bound should equal the FC queue bound")
+	}
+	if StackPIM(pr, c) != QueuePIM(pr, QueueConfig{P: 8}) {
+		t.Error("PIM stack bound should equal the long-queue PIM bound per side")
+	}
+}
+
+func TestStackTableRows(t *testing.T) {
+	rows := StackTable(DefaultParams(), StackConfig{P: 4})
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(rows))
+	}
+	for _, r := range rows {
+		if r.Algorithm == "" || r.Formula == "" || r.OpsPerSec <= 0 {
+			t.Errorf("incomplete row %+v", r)
+		}
+	}
+	// PIM on top, Treiber at the bottom at default params.
+	if !(rows[2].OpsPerSec > rows[1].OpsPerSec && rows[1].OpsPerSec > rows[0].OpsPerSec) {
+		t.Errorf("ordering wrong: %+v", rows)
+	}
+}

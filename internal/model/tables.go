@@ -1,0 +1,88 @@
+package model
+
+import "fmt"
+
+// Row is one line of a reproduced table: an algorithm label, its
+// closed-form throughput formula rendered as text, and the numeric
+// throughput (operations per second) at the chosen parameters.
+type Row struct {
+	Algorithm string
+	Formula   string
+	OpsPerSec float64
+}
+
+// Table1 evaluates every row of Table 1 (linked-lists) at params pr and
+// workload c, in the paper's row order.
+func Table1(pr Params, c ListConfig) []Row {
+	formulas := []string{
+		"2p / ((n+1)·Lcpu)",
+		"2 / ((n+1)·Lcpu)",
+		"2 / ((n+1)·Lpim)",
+		"p / ((n−Sp)·Lcpu)",
+		"p / ((n−Sp)·Lpim)",
+	}
+	rows := make([]Row, 0, len(formulas))
+	for i, a := range ListAlgorithms() {
+		rows = append(rows, Row{
+			Algorithm: a.String(),
+			Formula:   formulas[i],
+			OpsPerSec: ListThroughput(a, pr, c),
+		})
+	}
+	return rows
+}
+
+// Table2 evaluates every row of Table 2 (skip-lists) at params pr and
+// workload c, in the paper's row order.
+func Table2(pr Params, c SkipConfig) []Row {
+	formulas := []string{
+		"p / (β·Lcpu)",
+		"1 / (β·Lcpu)",
+		"1 / (β·Lpim + Lmessage)",
+		"k / (β·Lcpu)",
+		"k / (β·Lpim + Lmessage)",
+	}
+	rows := make([]Row, 0, len(formulas))
+	for i, a := range SkipAlgorithms() {
+		rows = append(rows, Row{
+			Algorithm: a.String(),
+			Formula:   formulas[i],
+			OpsPerSec: SkipThroughput(a, pr, c),
+		})
+	}
+	return rows
+}
+
+// QueueTable evaluates the Section 5.2 FIFO-queue bounds at params pr
+// and workload c.
+func QueueTable(pr Params, c QueueConfig) []Row {
+	formulas := []string{
+		"1 / Latomic",
+		"1 / (2·Lllc)",
+		"≈ 1 / Lpim",
+	}
+	rows := make([]Row, 0, len(formulas))
+	for i, a := range QueueAlgorithms() {
+		rows = append(rows, Row{
+			Algorithm: a.String(),
+			Formula:   formulas[i],
+			OpsPerSec: QueueThroughput(a, pr, c),
+		})
+	}
+	return rows
+}
+
+// FormatOps renders a throughput as a compact human-readable string,
+// e.g. "12.3M ops/s".
+func FormatOps(ops float64) string {
+	switch {
+	case ops >= 1e9:
+		return fmt.Sprintf("%.2fG ops/s", ops/1e9)
+	case ops >= 1e6:
+		return fmt.Sprintf("%.2fM ops/s", ops/1e6)
+	case ops >= 1e3:
+		return fmt.Sprintf("%.2fK ops/s", ops/1e3)
+	default:
+		return fmt.Sprintf("%.2f ops/s", ops)
+	}
+}

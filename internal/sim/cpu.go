@@ -1,0 +1,211 @@
+package sim
+
+import "fmt"
+
+// AtomicLine models one contended cache line targeted by CPU atomic
+// operations. Following Section 3, k concurrent atomics on the same
+// line serialize: they complete at Latomic, 2·Latomic, …, k·Latomic.
+// The line keeps the time at which it next becomes free.
+type AtomicLine struct {
+	nextFree Time
+	Ops      uint64 // completed atomic operations on this line
+}
+
+// acquire serializes one atomic starting no earlier than now and
+// returns its completion time.
+func (l *AtomicLine) acquire(now, cost Time) Time {
+	start := now
+	if l.nextFree > start {
+		start = l.nextFree
+	}
+	done := start + cost
+	l.nextFree = done
+	l.Ops++
+	return done
+}
+
+// CPUHandler is invoked once per message arriving at a CPU, in arrival
+// order — typically a response from a PIM core, upon which a
+// closed-loop client issues its next request.
+type CPUHandler func(c *CPU, m Message)
+
+// CPU is a full-fledged CPU core. Unlike a PIM core it may use atomic
+// operations and benefits from the last-level cache, but its memory
+// accesses cost Lcpu.
+type CPU struct {
+	eng     *Engine
+	id      CoreID
+	handler CPUHandler
+
+	inbox     []Message
+	inboxHead int
+	busyUntil Time
+	scheduled bool
+	running   bool
+	clock     Time
+
+	Stats CoreStats
+}
+
+// NewCPU registers a new CPU core.
+func (e *Engine) NewCPU(handler CPUHandler) *CPU {
+	c := &CPU{eng: e, handler: handler}
+	c.id = e.register(c)
+	return c
+}
+
+// SetHandler installs the CPU's message handler.
+func (c *CPU) SetHandler(h CPUHandler) { c.handler = h }
+
+// ID returns the CPU's engine-assigned identifier.
+func (c *CPU) ID() CoreID { return c.id }
+
+// Engine returns the CPU's engine.
+func (c *CPU) Engine() *Engine { return c.eng }
+
+func (c *CPU) coreID() CoreID { return c.id }
+
+func (c *CPU) deliver(m Message) {
+	c.inbox = append(c.inbox, m)
+	c.maybeSchedule()
+}
+
+func (c *CPU) maybeSchedule() {
+	if c.scheduled || c.running || c.inboxHead >= len(c.inbox) {
+		return
+	}
+	c.scheduled = true
+	at := c.eng.now
+	if c.busyUntil > at {
+		at = c.busyUntil
+	}
+	c.eng.Schedule(at, c.service)
+}
+
+func (c *CPU) service() {
+	c.scheduled = false
+	m := c.inbox[c.inboxHead]
+	c.inboxHead++
+	if c.inboxHead == len(c.inbox) {
+		c.inbox = c.inbox[:0]
+		c.inboxHead = 0
+	}
+	c.runNow(func(c *CPU) {
+		if c.handler == nil {
+			panic(fmt.Sprintf("sim: CPU %d received message with no handler", c.id))
+		}
+		c.handler(c, m)
+	})
+	c.maybeSchedule()
+}
+
+// Exec schedules fn to run on this CPU as soon as it is free. It is the
+// way simulations kick off client loops at time zero and how CPU-side
+// algorithms (e.g. simulated baselines) run work that is not a response
+// to a message.
+func (c *CPU) Exec(fn func(*CPU)) {
+	at := c.eng.now
+	if c.busyUntil > at {
+		at = c.busyUntil
+	}
+	c.eng.Schedule(at, func() {
+		// The CPU may have become busy between scheduling and
+		// firing (e.g. a message was serviced); requeue after it.
+		if c.running || c.busyUntil > c.eng.now {
+			c.Exec(fn)
+			return
+		}
+		c.runNow(fn)
+		c.maybeSchedule()
+	})
+}
+
+func (c *CPU) runNow(fn func(*CPU)) {
+	start := c.eng.now
+	c.clock = start
+	c.running = true
+	fn(c)
+	c.running = false
+	c.busyUntil = c.clock
+	c.Stats.Messages++
+	c.Stats.Busy += c.clock - start
+}
+
+func (c *CPU) mustRun(op string) {
+	if !c.running {
+		panic(fmt.Sprintf("sim: CPU %d: %s outside handler", c.id, op))
+	}
+}
+
+// Clock returns the CPU's local virtual time inside a handler.
+func (c *CPU) Clock() Time {
+	c.mustRun("Clock")
+	return c.clock
+}
+
+// MemRead charges one memory load (Lcpu).
+func (c *CPU) MemRead() {
+	c.mustRun("MemRead")
+	c.clock += c.eng.cfg.Lcpu
+}
+
+// MemWrite charges one memory store (Lcpu).
+func (c *CPU) MemWrite() {
+	c.mustRun("MemWrite")
+	c.clock += c.eng.cfg.Lcpu
+}
+
+// MemReadN charges n memory loads.
+func (c *CPU) MemReadN(n int) {
+	c.mustRun("MemReadN")
+	if n < 0 {
+		panic("sim: negative access count")
+	}
+	c.clock += Time(n) * c.eng.cfg.Lcpu
+}
+
+// LLCRead charges one last-level-cache load (Lllc).
+func (c *CPU) LLCRead() {
+	c.mustRun("LLCRead")
+	c.clock += c.eng.cfg.Lllc
+}
+
+// LLCWrite charges one last-level-cache store (Lllc).
+func (c *CPU) LLCWrite() {
+	c.mustRun("LLCWrite")
+	c.clock += c.eng.cfg.Lllc
+}
+
+// Local charges one L1/bookkeeping step (Epsilon).
+func (c *CPU) Local() {
+	c.mustRun("Local")
+	c.clock += c.eng.cfg.Epsilon
+}
+
+// Compute charges d of pure computation.
+func (c *CPU) Compute(d Time) {
+	c.mustRun("Compute")
+	if d < 0 {
+		panic("sim: negative compute time")
+	}
+	c.clock += d
+}
+
+// Atomic performs one atomic operation (CAS, F&A, …) on line,
+// serializing with other atomics on the same line per Section 3. The
+// CPU blocks until its atomic completes.
+func (c *CPU) Atomic(line *AtomicLine) {
+	c.mustRun("Atomic")
+	c.clock = line.acquire(c.clock, c.eng.cfg.Latomic)
+}
+
+// Send transmits m (stamped From = this CPU) without blocking.
+func (c *CPU) Send(m Message) {
+	c.mustRun("Send")
+	m.From = c.id
+	c.clock += c.eng.cfg.Epsilon
+	c.eng.send(c.clock, m)
+}
+
+// CountOp records one completed operation for throughput accounting.
+func (c *CPU) CountOp() { c.Stats.Ops++ }

@@ -1,0 +1,152 @@
+package sim
+
+import (
+	"testing"
+	"time"
+
+	"pimds/internal/model"
+)
+
+func testConfig() Config {
+	return Config{
+		Lcpu:     90 * Nanosecond,
+		Lpim:     30 * Nanosecond,
+		Lllc:     30 * Nanosecond,
+		Latomic:  90 * Nanosecond,
+		Lmessage: 90 * Nanosecond,
+	}
+}
+
+func TestTimeConversions(t *testing.T) {
+	if got := FromDuration(90 * time.Nanosecond); got != 90*Nanosecond {
+		t.Errorf("FromDuration = %v, want 90ns", got)
+	}
+	if got := (1500 * Millisecond).Seconds(); got != 1.5 {
+		t.Errorf("Seconds = %v, want 1.5", got)
+	}
+	if got := (90 * Nanosecond).Duration(); got != 90*time.Nanosecond {
+		t.Errorf("Duration = %v", got)
+	}
+	if got := (2 * Microsecond).String(); got != "2µs" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestConfigFromParams(t *testing.T) {
+	cfg := ConfigFromParams(model.DefaultParams())
+	if cfg.Lcpu != 90*Nanosecond || cfg.Lpim != 30*Nanosecond ||
+		cfg.Lllc != 30*Nanosecond || cfg.Latomic != 90*Nanosecond ||
+		cfg.Lmessage != 90*Nanosecond {
+		t.Errorf("unexpected config: %+v", cfg)
+	}
+	// Non-integer-nanosecond ratios stay exact in picoseconds.
+	pr := model.Params{Lcpu: 90 * time.Nanosecond, R1: 4.75, R2: 9.25, R3: 0.75}
+	cfg = ConfigFromParams(pr)
+	if cfg.Lpim != Time(18947) { // 90ns/4.75 = 18.947ns
+		t.Errorf("Lpim = %d ps, want 18947", cfg.Lpim)
+	}
+	if cfg.Latomic != Time(67500) {
+		t.Errorf("Latomic = %d ps, want 67500", cfg.Latomic)
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := testConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := testConfig()
+	bad.Lpim = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero Lpim should be invalid")
+	}
+	bad = testConfig()
+	bad.Epsilon = -1
+	if err := bad.Validate(); err == nil {
+		t.Error("negative epsilon should be invalid")
+	}
+}
+
+func TestNewEnginePanicsOnInvalidConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewEngine should panic on invalid config")
+		}
+	}()
+	NewEngine(Config{})
+}
+
+func TestEngineOrdering(t *testing.T) {
+	e := NewEngine(testConfig())
+	var order []int
+	e.Schedule(30*Nanosecond, func() { order = append(order, 3) })
+	e.Schedule(10*Nanosecond, func() { order = append(order, 1) })
+	e.Schedule(20*Nanosecond, func() { order = append(order, 2) })
+	// Equal times fire in scheduling order.
+	e.Schedule(20*Nanosecond, func() { order = append(order, 4) })
+	end := e.Run()
+	want := []int{1, 2, 4, 3}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+	if end != 30*Nanosecond {
+		t.Errorf("final time = %v, want 30ns", end)
+	}
+	if e.Processed() != 4 {
+		t.Errorf("processed = %d, want 4", e.Processed())
+	}
+}
+
+func TestEngineSchedulePastPanics(t *testing.T) {
+	e := NewEngine(testConfig())
+	e.Schedule(10*Nanosecond, func() {})
+	e.Run()
+	defer func() {
+		if recover() == nil {
+			t.Error("scheduling in the past should panic")
+		}
+	}()
+	e.Schedule(5*Nanosecond, func() {})
+}
+
+func TestEngineRunUntil(t *testing.T) {
+	e := NewEngine(testConfig())
+	fired := 0
+	reschedule := func() {}
+	reschedule = func() {
+		fired++
+		e.After(10*Nanosecond, reschedule)
+	}
+	e.Schedule(0, reschedule)
+	e.RunUntil(95 * Nanosecond)
+	// Fires at 0,10,...,90 = 10 events.
+	if fired != 10 {
+		t.Errorf("fired = %d, want 10", fired)
+	}
+	if e.Now() != 95*Nanosecond {
+		t.Errorf("now = %v, want 95ns", e.Now())
+	}
+	if e.Pending() != 1 {
+		t.Errorf("pending = %d, want 1", e.Pending())
+	}
+	e.RunFor(5 * Nanosecond) // picks up the event at 100ns
+	if fired != 11 {
+		t.Errorf("fired = %d, want 11 after RunFor", fired)
+	}
+}
+
+func TestEngineAfter(t *testing.T) {
+	e := NewEngine(testConfig())
+	var at Time = -1
+	e.Schedule(40*Nanosecond, func() {
+		e.After(5*Nanosecond, func() { at = e.Now() })
+	})
+	e.Run()
+	if at != 45*Nanosecond {
+		t.Errorf("After fired at %v, want 45ns", at)
+	}
+}

@@ -1,0 +1,35 @@
+package sim_test
+
+import (
+	"fmt"
+
+	"pimds/internal/sim"
+)
+
+// Example builds the smallest possible PIM system: one PIM core
+// serving echo requests from one closed-loop CPU client, and measures
+// its steady-state throughput in virtual time. With two vault reads per
+// request, one operation takes Lmessage + 2·Lpim + Lmessage = 240 ns,
+// so the client completes exactly 1000 operations in 240 µs.
+func Example() {
+	e := sim.NewEngine(sim.DefaultConfig())
+
+	pim := e.NewPIMCore(func(c *sim.PIMCore, m sim.Message) {
+		c.Read() // walk to the node
+		c.Read() // read it
+		c.Send(sim.Message{To: m.From, OK: true})
+		c.CountOp()
+	})
+
+	client := sim.NewClient(e, func(c *sim.CPU, seq uint64) sim.Message {
+		return sim.Message{To: pim.ID(), Key: int64(seq)}
+	})
+
+	meter := &sim.Meter{Engine: e, Clients: []*sim.Client{client}}
+	completed, _ := meter.Run(0, 240*sim.Microsecond)
+	fmt.Printf("completed %d ops\n", completed)
+	fmt.Printf("core busy %v, vault reads %d\n", pim.Stats.Busy, pim.Vault().Reads)
+	// Output:
+	// completed 1000 ops
+	// core busy 60µs, vault reads 2000
+}

@@ -1,0 +1,120 @@
+// Package sim is a deterministic discrete-event simulator of the PIM
+// (processing-in-memory) architecture assumed by Liu, Calciu, Herlihy
+// and Mutlu, "Concurrent Data Structures for Near-Memory Computing"
+// (SPAA 2017), Section 2:
+//
+//   - Memory is organized in vaults; each vault has one lightweight
+//     in-order PIM core attached to it. A vault can be accessed only by
+//     its local PIM core, and PIM cores perform plain reads and writes
+//     only (no CAS / F&A).
+//   - CPUs access ordinary memory (at Lcpu), the shared last-level
+//     cache (at Lllc) and support atomic operations (CAS, F&A) that
+//     cost Latomic each and serialize when contending for a cache line.
+//   - All cores communicate by message passing. Messages from the same
+//     sender to the same receiver arrive in FIFO order; messages from
+//     different senders interleave arbitrarily. A message transfer
+//     costs Lmessage.
+//
+// Every latency is charged in virtual time from the cost model of
+// Section 3 (package model), so a simulation measures the throughput
+// the paper's model predicts while executing the real algorithms —
+// including segment handoff, node migration and pipelining, whose
+// costs the paper's closed forms deliberately ignore.
+//
+// The simulator is sequential and deterministic: given the same
+// configuration and seeds it produces the identical event trace, which
+// the tests rely on.
+package sim
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"pimds/internal/model"
+)
+
+// Time is virtual time in picoseconds. Picoseconds (rather than
+// nanoseconds) keep derived latencies such as Lcpu/r1 exact for
+// non-integer ratios.
+type Time int64
+
+// Common conversion constants.
+const (
+	Picosecond  Time = 1
+	Nanosecond  Time = 1000
+	Microsecond Time = 1000 * Nanosecond
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+)
+
+// FromDuration converts a wall-clock duration to virtual time.
+func FromDuration(d time.Duration) Time { return Time(d.Nanoseconds()) * Nanosecond }
+
+// Seconds reports t as float64 seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Duration converts t to a time.Duration (rounded down to nanoseconds).
+func (t Time) Duration() time.Duration { return time.Duration(t/Nanosecond) * time.Nanosecond }
+
+// String formats t with a readable unit.
+func (t Time) String() string { return t.Duration().String() }
+
+// Config fixes the latencies charged by the simulator.
+type Config struct {
+	Lcpu     Time // CPU memory access
+	Lpim     Time // PIM-core local vault access
+	Lllc     Time // CPU last-level cache access
+	Latomic  Time // CPU atomic operation (also the serialization unit)
+	Lmessage Time // message transfer between any two cores
+	Epsilon  Time // cost of a local L1 access / bookkeeping step on any core
+
+	// LpimRemote is the latency of a PIM core accessing another
+	// core's vault directly — the alternative architecture of the
+	// paper's Section 2 footnote 2 ("such accesses are slower than
+	// those to the local vault"). Zero (the default) disables remote
+	// accesses entirely, which is the paper's primary model.
+	LpimRemote Time
+
+	// MessageGap is the minimum spacing between consecutive message
+	// *injections* by one sender: a finite-bandwidth link can accept
+	// one cache-line message per gap. Zero (the paper's model) means
+	// infinite injection bandwidth. The sender does not block — its
+	// messages queue at the link — but their delivery serializes, so
+	// a pipelined core's reply stream throttles at 1/gap. Section 5.2
+	// argues "bandwidth is unlikely to become a bottleneck"; the
+	// bandwidth ablation (-exp bandwidth) checks exactly when that
+	// holds: throughput is flat until the gap exceeds the per-request
+	// service time Lpim.
+	MessageGap Time
+}
+
+// ConfigFromParams derives simulator latencies from the analytical
+// model's parameters, rounding to whole picoseconds.
+func ConfigFromParams(p model.Params) Config {
+	sec := func(s float64) Time { return Time(math.Round(s * 1e12)) }
+	lcpu := p.Lcpu.Seconds()
+	return Config{
+		Lcpu:     sec(lcpu),
+		Lpim:     sec(lcpu / p.R1),
+		Lllc:     sec(lcpu / p.R2),
+		Latomic:  sec(lcpu * p.R3),
+		Lmessage: sec(lcpu),
+		Epsilon:  0,
+	}
+}
+
+// DefaultConfig returns the latencies for the paper's default
+// parameters (r1 = r2 = 3, r3 = 1, Lcpu = 90ns).
+func DefaultConfig() Config { return ConfigFromParams(model.DefaultParams()) }
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	if c.Lcpu <= 0 || c.Lpim <= 0 || c.Lllc <= 0 || c.Latomic <= 0 || c.Lmessage <= 0 {
+		return fmt.Errorf("sim: all latencies must be positive: %+v", c)
+	}
+	if c.Epsilon < 0 {
+		return fmt.Errorf("sim: epsilon must be non-negative: %+v", c)
+	}
+	return nil
+}

@@ -1,0 +1,40 @@
+package sim
+
+// Vault is one memory vault: the paper's unit of PIM memory, owned and
+// exclusively accessed by its local PIM core (Section 2). The simulator
+// keeps data-structure nodes as ordinary Go objects; the vault's job is
+// accounting and ownership checking — every load and store performed by
+// a PIM core on vault-resident data must go through its core's Read and
+// Write methods, which charge Lpim and tick these counters.
+type Vault struct {
+	id    int
+	owner CoreID
+
+	// Counters of charged accesses and allocation bookkeeping.
+	Reads     uint64
+	Writes    uint64
+	Allocs    uint64
+	Frees     uint64
+	LiveNodes int64
+}
+
+// ID returns the vault's index within its engine.
+func (v *Vault) ID() int { return v.id }
+
+// Owner returns the CoreID of the local PIM core.
+func (v *Vault) Owner() CoreID { return v.owner }
+
+// Accesses returns the total number of charged memory accesses.
+func (v *Vault) Accesses() uint64 { return v.Reads + v.Writes }
+
+// RecordAlloc accounts for the allocation of one node in the vault.
+func (v *Vault) RecordAlloc() {
+	v.Allocs++
+	v.LiveNodes++
+}
+
+// RecordFree accounts for freeing one node.
+func (v *Vault) RecordFree() {
+	v.Frees++
+	v.LiveNodes--
+}

@@ -1,0 +1,167 @@
+// Package stats provides the small statistics toolkit used by the
+// harness and the simulator's latency instrumentation: streaming
+// summaries and fixed-resolution histograms with percentile queries.
+// It is dependency-free and deterministic.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary accumulates count/mean/min/max/variance in one pass
+// (Welford's algorithm).
+type Summary struct {
+	n        uint64
+	mean, m2 float64
+	min, max float64
+}
+
+// Add records one observation.
+func (s *Summary) Add(x float64) {
+	s.n++
+	if s.n == 1 {
+		s.min, s.max = x, x
+	} else {
+		if x < s.min {
+			s.min = x
+		}
+		if x > s.max {
+			s.max = x
+		}
+	}
+	delta := x - s.mean
+	s.mean += delta / float64(s.n)
+	s.m2 += delta * (x - s.mean)
+}
+
+// N returns the number of observations.
+func (s *Summary) N() uint64 { return s.n }
+
+// Mean returns the running mean (0 if empty).
+func (s *Summary) Mean() float64 { return s.mean }
+
+// Min returns the smallest observation (0 if empty).
+func (s *Summary) Min() float64 { return s.min }
+
+// Max returns the largest observation (0 if empty).
+func (s *Summary) Max() float64 { return s.max }
+
+// Var returns the sample variance (0 for fewer than 2 observations).
+func (s *Summary) Var() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	return s.m2 / float64(s.n-1)
+}
+
+// Stddev returns the sample standard deviation.
+func (s *Summary) Stddev() float64 { return math.Sqrt(s.Var()) }
+
+// String formats the summary compactly.
+func (s *Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.4g min=%.4g max=%.4g sd=%.4g",
+		s.n, s.Mean(), s.Min(), s.Max(), s.Stddev())
+}
+
+// Histogram is a log-bucketed histogram for positive integer
+// observations (e.g. latencies in picoseconds): bucket b holds values
+// in [2^b, 2^(b+1)), with sub-bucket linear resolution.
+type Histogram struct {
+	// buckets[b][s]: b = floor(log2(v)), s = the subBuckets-resolution
+	// linear sub-bucket within the octave.
+	buckets map[int][]uint64
+	total   uint64
+	sum     float64
+	subN    int
+}
+
+// NewHistogram returns a histogram with the given per-octave linear
+// resolution (≥ 1; 16 gives ≈ 6% relative error).
+func NewHistogram(subBuckets int) *Histogram {
+	if subBuckets < 1 {
+		subBuckets = 1
+	}
+	return &Histogram{buckets: make(map[int][]uint64), subN: subBuckets}
+}
+
+// Add records one positive observation; non-positive values count as 1.
+func (h *Histogram) Add(v int64) {
+	if v < 1 {
+		v = 1
+	}
+	b := 63 - leadingZeros(uint64(v))
+	bs := h.buckets[b]
+	if bs == nil {
+		bs = make([]uint64, h.subN)
+		h.buckets[b] = bs
+	}
+	low := int64(1) << b
+	idx := int((v - low) * int64(h.subN) / low)
+	if idx >= h.subN {
+		idx = h.subN - 1
+	}
+	bs[idx]++
+	h.total++
+	h.sum += float64(v)
+}
+
+func leadingZeros(v uint64) int {
+	n := 0
+	for mask := uint64(1) << 63; mask != 0 && v&mask == 0; mask >>= 1 {
+		n++
+	}
+	return n
+}
+
+// N returns the number of observations.
+func (h *Histogram) N() uint64 { return h.total }
+
+// Mean returns the mean observation.
+func (h *Histogram) Mean() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return h.sum / float64(h.total)
+}
+
+// Quantile returns the approximate q-quantile (0 ≤ q ≤ 1): the lower
+// bound of the sub-bucket containing the q·N-th observation.
+func (h *Histogram) Quantile(q float64) int64 {
+	if h.total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(q * float64(h.total-1))
+	bs := make([]int, 0, len(h.buckets))
+	for b := range h.buckets {
+		bs = append(bs, b)
+	}
+	sort.Ints(bs)
+	var seen uint64
+	for _, b := range bs {
+		for s, c := range h.buckets[b] {
+			if c == 0 {
+				continue
+			}
+			seen += c
+			if seen > rank {
+				low := int64(1) << b
+				return low + int64(s)*low/int64(h.subN)
+			}
+		}
+	}
+	return 0
+}
+
+// Percentiles returns the 50th, 90th, 99th percentiles — the trio the
+// latency tables report.
+func (h *Histogram) Percentiles() (p50, p90, p99 int64) {
+	return h.Quantile(0.50), h.Quantile(0.90), h.Quantile(0.99)
+}

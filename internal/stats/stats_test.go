@@ -1,0 +1,137 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummaryBasics(t *testing.T) {
+	var s Summary
+	if s.N() != 0 || s.Mean() != 0 || s.Var() != 0 {
+		t.Error("empty summary should be zero")
+	}
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(x)
+	}
+	if s.N() != 8 {
+		t.Errorf("n = %d", s.N())
+	}
+	if s.Mean() != 5 {
+		t.Errorf("mean = %v, want 5", s.Mean())
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Errorf("min/max = %v/%v", s.Min(), s.Max())
+	}
+	// Sample variance of this classic dataset is 32/7.
+	if got, want := s.Var(), 32.0/7; math.Abs(got-want) > 1e-12 {
+		t.Errorf("var = %v, want %v", got, want)
+	}
+	if s.String() == "" {
+		t.Error("empty String()")
+	}
+}
+
+// TestSummaryMatchesDirectComputation on random data.
+func TestSummaryMatchesDirectComputation(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw%100) + 2
+		rng := rand.New(rand.NewSource(seed))
+		var s Summary
+		xs := make([]float64, n)
+		var sum float64
+		for i := range xs {
+			xs[i] = rng.Float64()*200 - 100
+			s.Add(xs[i])
+			sum += xs[i]
+		}
+		mean := sum / float64(n)
+		var m2 float64
+		for _, x := range xs {
+			m2 += (x - mean) * (x - mean)
+		}
+		wantVar := m2 / float64(n-1)
+		return math.Abs(s.Mean()-mean) < 1e-9 && math.Abs(s.Var()-wantVar) < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	h := NewHistogram(16)
+	if h.Quantile(0.5) != 0 || h.N() != 0 {
+		t.Error("empty histogram should return 0")
+	}
+	// 1..1000 uniformly.
+	for v := int64(1); v <= 1000; v++ {
+		h.Add(v)
+	}
+	if h.N() != 1000 {
+		t.Fatalf("n = %d", h.N())
+	}
+	if got, want := h.Mean(), 500.5; math.Abs(got-want) > 1e-9 {
+		t.Errorf("mean = %v, want %v", got, want)
+	}
+	p50, p90, p99 := h.Percentiles()
+	within := func(got, want int64, relTol float64) bool {
+		return math.Abs(float64(got-want)) <= relTol*float64(want)
+	}
+	if !within(p50, 500, 0.10) || !within(p90, 900, 0.10) || !within(p99, 990, 0.10) {
+		t.Errorf("p50/p90/p99 = %d/%d/%d, want ≈ 500/900/990", p50, p90, p99)
+	}
+}
+
+// TestHistogramQuantileAccuracy: against exact order statistics of
+// random data, the log-bucketed quantile must be within one sub-bucket
+// (≈ 1/16 relative).
+func TestHistogramQuantileAccuracy(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		h := NewHistogram(16)
+		xs := make([]int64, 500)
+		for i := range xs {
+			xs[i] = rng.Int63n(1<<20) + 1
+			h.Add(xs[i])
+		}
+		sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] })
+		for _, q := range []float64{0.5, 0.9, 0.99} {
+			exact := xs[int(q*float64(len(xs)-1))]
+			got := h.Quantile(q)
+			if got > exact || float64(got) < float64(exact)*(1-2.0/16) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogramEdgeCases(t *testing.T) {
+	h := NewHistogram(0) // clamps to 1 sub-bucket
+	h.Add(0)             // clamps to 1
+	h.Add(-5)            // clamps to 1
+	h.Add(1)
+	if h.N() != 3 {
+		t.Errorf("n = %d, want 3", h.N())
+	}
+	if q := h.Quantile(0.5); q != 1 {
+		t.Errorf("q50 = %d, want 1", q)
+	}
+	if h.Quantile(-1) != h.Quantile(0) || h.Quantile(2) < h.Quantile(0) {
+		t.Error("quantile clamping broken")
+	}
+}
+
+func TestLeadingZeros(t *testing.T) {
+	cases := map[uint64]int{1: 63, 2: 62, 1 << 63: 0, 3: 62}
+	for v, want := range cases {
+		if got := leadingZeros(v); got != want {
+			t.Errorf("leadingZeros(%d) = %d, want %d", v, got, want)
+		}
+	}
+}
