@@ -68,7 +68,7 @@ func BenchmarkFig2Sim(b *testing.B) {
 		b.Run(v.name, func(b *testing.B) {
 			var ops float64
 			for i := 0; i < b.N; i++ {
-				ops = harness.SimList(simOpts(), v.alg, 8, 400)
+				ops = harness.SimList(simOpts(), v.alg, 8, 400).Ops
 			}
 			b.ReportMetric(ops, "simops/s")
 		})
@@ -162,7 +162,7 @@ func BenchmarkFig4Sim(b *testing.B) {
 	b.Run("LockFree", func(b *testing.B) {
 		var ops float64
 		for i := 0; i < b.N; i++ {
-			ops = harness.SimSkipLockFree(simOpts(), p, keySpace, false)
+			ops = harness.SimSkipLockFree(simOpts(), p, keySpace, false).Ops
 		}
 		b.ReportMetric(ops, "simops/s")
 	})
@@ -170,7 +170,7 @@ func BenchmarkFig4Sim(b *testing.B) {
 		b.Run(benchName("FCPartitions", k), func(b *testing.B) {
 			var ops float64
 			for i := 0; i < b.N; i++ {
-				ops = harness.SimSkipFC(simOpts(), k, p, keySpace)
+				ops = harness.SimSkipFC(simOpts(), k, p, keySpace).Ops
 			}
 			b.ReportMetric(ops, "simops/s")
 		})
@@ -179,7 +179,8 @@ func BenchmarkFig4Sim(b *testing.B) {
 		b.Run(benchName("PIMPartitions", k), func(b *testing.B) {
 			var ops float64
 			for i := 0; i < b.N; i++ {
-				ops, _ = harness.SimSkipPIM(simOpts(), k, p, keySpace)
+				res, _ := harness.SimSkipPIM(simOpts(), k, p, keySpace)
+				ops = res.Ops
 			}
 			b.ReportMetric(ops, "simops/s")
 		})
@@ -249,21 +250,21 @@ func BenchmarkQueueSim(b *testing.B) {
 	}{
 		{"PIMPipelined", func(o harness.SimOpts) float64 {
 			return harness.SimPIMQueue(o, harness.QueueRegime{Cores: 2, Threshold: 1 << 30,
-				Pipelining: true, Dequeuers: 12, PrefillLong: true})
+				Pipelining: true, Dequeuers: 12, PrefillLong: true}).Ops
 		}},
 		{"PIMNoPipelining", func(o harness.SimOpts) float64 {
 			return harness.SimPIMQueue(o, harness.QueueRegime{Cores: 2, Threshold: 1 << 30,
-				Pipelining: false, Dequeuers: 12, PrefillLong: true})
+				Pipelining: false, Dequeuers: 12, PrefillLong: true}).Ops
 		}},
 		{"PIMShortQueue", func(o harness.SimOpts) float64 {
 			return harness.SimPIMQueue(o, harness.QueueRegime{Cores: 1, Threshold: 1 << 30,
-				Pipelining: true, Enqueuers: 6, Dequeuers: 6, PrefillLong: true})
+				Pipelining: true, Enqueuers: 6, Dequeuers: 6, PrefillLong: true}).Ops
 		}},
 		{"FCBound", func(o harness.SimOpts) float64 {
-			return harness.SimQueueFC(o, 24, false) / 2
+			return harness.SimQueueFC(o, 24, false).Ops / 2
 		}},
 		{"FAABound", func(o harness.SimOpts) float64 {
-			return harness.SimQueueFAA(o, 1, false)
+			return harness.SimQueueFAA(o, 1, false).Ops
 		}},
 	}
 	for _, r := range regimes {

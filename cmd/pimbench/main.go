@@ -35,6 +35,7 @@ func main() {
 		lcpu    = flag.Duration("lcpu", model.DefaultLcpu, "absolute CPU memory latency")
 		threads = flag.Int("host-threads", runtime.GOMAXPROCS(0)*4, "max threads for host experiments")
 		hostDur = flag.Duration("host-measure", 300*time.Millisecond, "host measurement window per point")
+		seed    = flag.Int64("seed", 0, "workload seed for simulator experiments (0 = historical streams)")
 	)
 	flag.Parse()
 
@@ -54,6 +55,7 @@ func main() {
 		Quick:       *quick,
 		HostThreads: *threads,
 		HostMeasure: *hostDur,
+		Seed:        *seed,
 	}
 	if err := opts.Params.Validate(); err != nil {
 		fmt.Fprintln(os.Stderr, err)

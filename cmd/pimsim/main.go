@@ -22,6 +22,7 @@ import (
 	"pimds/internal/core/pimstack"
 	"pimds/internal/harness"
 	"pimds/internal/model"
+	"pimds/internal/obs"
 	"pimds/internal/sim"
 )
 
@@ -41,6 +42,8 @@ func main() {
 		r3        = flag.Float64("r3", model.DefaultR3, "Latomic/Lcpu")
 		seed      = flag.Int64("seed", 1, "workload seed")
 		trace     = flag.Bool("trace", false, "print every message and served request (very verbose; use tiny -measure)")
+		traceJSON = flag.String("trace-json", "", "write a Chrome trace-event JSON file (load in chrome://tracing or Perfetto)")
+		metrics   = flag.String("metrics", "", "write a metrics snapshot as JSON to this file (\"-\" or /dev/stdout for stdout)")
 	)
 	flag.Parse()
 
@@ -58,28 +61,91 @@ func main() {
 		measure = sim.FromDuration(*measureD)
 	}
 	e := sim.NewEngine(sim.ConfigFromParams(pr))
+
+	var tracers []sim.Tracer
 	if *trace {
-		e.SetTracer(&sim.WriterTracer{W: os.Stdout})
+		tracers = append(tracers, &sim.WriterTracer{W: os.Stdout})
 	}
+	var chrome *sim.ChromeTracer
+	if *traceJSON != "" {
+		f, err := os.Create(*traceJSON)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		chrome = sim.NewChromeTracer(f, e)
+		tracers = append(tracers, chrome)
+	}
+	switch len(tracers) {
+	case 0:
+	case 1:
+		e.SetTracer(tracers[0])
+	default:
+		e.SetTracer(sim.MultiTracer(tracers))
+	}
+
+	// Install the registry before run* builds the structure: structures
+	// capture the registry at construction time.
+	var reg *obs.Registry
+	if *metrics != "" {
+		reg = obs.NewRegistry()
+		e.SetMetrics(reg)
+	}
+
 	cfg := e.Config()
 	fmt.Printf("latencies: Lcpu=%v Lpim=%v Lllc=%v Latomic=%v Lmessage=%v\n",
 		cfg.Lcpu, cfg.Lpim, cfg.Lllc, cfg.Latomic, cfg.Lmessage)
 
 	switch *structure {
 	case "list":
+		e.SetKindNamer(pimlist.KindName)
 		runList(e, *cpus, *keySpace, *combining, *seed, warmup, measure)
 	case "skiplist":
+		e.SetKindNamer(pimskip.KindName)
 		runSkip(e, *vaults, *cpus, *keySpace, *seed, warmup, measure)
 	case "queue":
+		e.SetKindNamer(pimqueue.KindName)
 		runQueue(e, *vaults, *cpus, *threshold, *pipeline, warmup, measure)
 	case "stack":
+		e.SetKindNamer(pimstack.KindName)
 		runStack(e, *vaults, *cpus, *threshold, *pipeline, warmup, measure)
 	case "hashmap":
+		e.SetKindNamer(pimhash.KindName)
 		runHash(e, *vaults, *cpus, *keySpace, *seed, warmup, measure)
 	default:
 		fmt.Fprintf(os.Stderr, "unknown structure %q (list, skiplist, queue, stack, hashmap)\n", *structure)
 		os.Exit(2)
 	}
+
+	if chrome != nil {
+		if err := chrome.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "trace-json:", err)
+			os.Exit(1)
+		}
+	}
+	if reg != nil {
+		if err := writeMetrics(reg, *metrics); err != nil {
+			fmt.Fprintln(os.Stderr, "metrics:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// writeMetrics snapshots reg as indented JSON into path ("-" = stdout).
+func writeMetrics(reg *obs.Registry, path string) error {
+	if path == "-" {
+		return reg.WriteJSON(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := reg.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func runList(e *sim.Engine, cpus int, keySpace int64, combining bool, seed int64, warmup, measure sim.Time) {

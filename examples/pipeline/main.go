@@ -62,17 +62,17 @@ func main() {
 		model.FormatOps(pimOps), handoffs, segs)
 
 	// The Section 5.2 baselines under the same model.
-	fcOps := harness.SimQueueFC(opts, 16, false)   // both combiner sides
-	faaOps := harness.SimQueueFAA(opts, 16, false) // both ticket counters
+	fcOps := harness.SimQueueFC(opts, 16, false).Ops   // both combiner sides
+	faaOps := harness.SimQueueFAA(opts, 16, false).Ops // both ticket counters
 	fmt.Printf("flat-combining queue bound:         %s\n", model.FormatOps(fcOps))
 	fmt.Printf("F&A queue bound:                    %s\n", model.FormatOps(faaOps))
 	fmt.Println()
 
 	// Pipelining ablation on a pure dequeue-side measurement.
 	on := harness.SimPIMQueue(opts, harness.QueueRegime{
-		Cores: 2, Threshold: 1 << 30, Pipelining: true, Dequeuers: 12, PrefillLong: true})
+		Cores: 2, Threshold: 1 << 30, Pipelining: true, Dequeuers: 12, PrefillLong: true}).Ops
 	off := harness.SimPIMQueue(opts, harness.QueueRegime{
-		Cores: 2, Threshold: 1 << 30, Pipelining: false, Dequeuers: 12, PrefillLong: true})
+		Cores: 2, Threshold: 1 << 30, Pipelining: false, Dequeuers: 12, PrefillLong: true}).Ops
 	fmt.Printf("pipelining on:  %s (≈ 1/Lpim)\n", model.FormatOps(on))
 	fmt.Printf("pipelining off: %s (≈ 1/(Lpim+Lmessage))\n", model.FormatOps(off))
 	fmt.Printf("pipelining wins %.1f× — hiding the reply transfer behind the next request (Fig. 6)\n", on/off)

@@ -34,11 +34,12 @@ func main() {
 	// The PIM-managed skip-list: 8 vaults, each owning 1/8 of the key
 	// space, with CPU clients routing requests by a cached sentinel
 	// directory (Section 4.2).
-	pimOps, beta := harness.SimSkipPIM(opts, partitions, threads, keySpace)
+	pimRes, beta := harness.SimSkipPIM(opts, partitions, threads, keySpace)
+	pimOps := pimRes.Ops
 
 	// The strongest CPU-side baseline: the lock-free skip-list, all 16
 	// threads in parallel (Table 2 row 1).
-	lockFreeOps := harness.SimSkipLockFree(opts, threads, keySpace, false)
+	lockFreeOps := harness.SimSkipLockFree(opts, threads, keySpace, false).Ops
 
 	fmt.Printf("PIM skip-list (k=%d):   %s  (measured β = %.1f nodes/op)\n",
 		partitions, model.FormatOps(pimOps), beta)

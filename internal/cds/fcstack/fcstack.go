@@ -8,6 +8,7 @@ package fcstack
 
 import (
 	"pimds/internal/cds/flatcombining"
+	"pimds/internal/obs"
 )
 
 // op kinds inside the combiner.
@@ -47,6 +48,12 @@ func New(eliminate bool) *Stack {
 	s := &Stack{eliminate: eliminate}
 	s.fc = flatcombining.New(s.apply)
 	return s
+}
+
+// Instrument exports combining metrics (batch sizes, lock handoffs,
+// totals) into reg under the "fcstack" prefix.
+func (s *Stack) Instrument(reg *obs.Registry) {
+	s.fc.Instrument(reg, "fcstack")
 }
 
 func (s *Stack) apply(batch []*flatcombining.Record) {

@@ -1,0 +1,100 @@
+package flatcombining_test
+
+import (
+	"sync"
+	"testing"
+
+	"pimds/internal/cds/fclist"
+	"pimds/internal/cds/flatcombining"
+	"pimds/internal/obs"
+)
+
+func TestInstrumentedFC(t *testing.T) {
+	fc := flatcombining.New(func(batch []*flatcombining.Record) {
+		for _, rec := range batch {
+			rec.Finish(rec.Op())
+		}
+	})
+	reg := obs.NewRegistry()
+	fc.Instrument(reg, "fc")
+
+	const threads, opsEach = 4, 200
+	var wg sync.WaitGroup
+	for i := 0; i < threads; i++ {
+		rec := fc.NewRecord()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < opsEach; j++ {
+				if got := fc.Do(rec, j).(int); got != j {
+					t.Errorf("Do returned %v, want %v", got, j)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	s := reg.Snapshot()
+	h, ok := s.Histograms["fc/batch_size"]
+	if !ok || h.Count == 0 {
+		t.Fatalf("no batch-size observations: %v", s.Histograms)
+	}
+	if h.Count != fc.Combines {
+		t.Errorf("batch histogram count %d != combines %d", h.Count, fc.Combines)
+	}
+	if h.Max < 1 || h.Max > threads {
+		t.Errorf("batch max = %d, want in [1, %d]", h.Max, threads)
+	}
+	if got := s.Gauges["fc/served"]; got != threads*opsEach {
+		t.Errorf("served = %d, want %d", got, threads*opsEach)
+	}
+	if got := s.Gauges["fc/combines"]; got != int64(fc.Combines) {
+		t.Errorf("combines gauge = %d, want %d", got, fc.Combines)
+	}
+	// With a single instance and several threads the combiner role must
+	// have been taken at least once.
+	if s.Counters["fc/lock_handoffs"] == 0 {
+		t.Error("no lock handoffs recorded")
+	}
+}
+
+// TestUninstrumentedFCUnchanged: without Instrument, the structure
+// behaves identically (smoke test that nil hooks are harmless under
+// concurrency).
+func TestUninstrumentedFCUnchanged(t *testing.T) {
+	l := fclist.New(true)
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		h := l.NewHandle()
+		base := int64(i * 1000)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := int64(0); k < 100; k++ {
+				h.Add(base + k)
+			}
+		}()
+	}
+	wg.Wait()
+	if l.Len() != 400 {
+		t.Errorf("len = %d, want 400", l.Len())
+	}
+}
+
+func TestFCListInstrumentDelegates(t *testing.T) {
+	l := fclist.New(true)
+	reg := obs.NewRegistry()
+	l.Instrument(reg)
+	h := l.NewHandle()
+	for k := int64(0); k < 50; k++ {
+		h.Add(k)
+	}
+	s := reg.Snapshot()
+	if s.Histograms["fclist/batch_size"].Count == 0 {
+		t.Fatalf("fclist batch sizes not recorded: %v", s.Histograms)
+	}
+	if s.Gauges["fclist/served"] != 50 {
+		t.Errorf("served = %d, want 50", s.Gauges["fclist/served"])
+	}
+}

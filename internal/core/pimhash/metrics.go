@@ -1,0 +1,53 @@
+package pimhash
+
+import (
+	"fmt"
+
+	"pimds/internal/obs"
+)
+
+// KindName maps the hash-map protocol's message kinds to symbolic names
+// for metric paths and trace events (install with
+// sim.Engine.SetKindNamer).
+func KindName(kind int) string {
+	switch kind {
+	case MsgGet:
+		return "Get"
+	case MsgPut:
+		return "Put"
+	case MsgDel:
+		return "Del"
+	case MsgResp:
+		return "Resp"
+	}
+	return fmt.Sprintf("kind_%02d", kind)
+}
+
+// instrument wires the map into the engine's metrics registry (nil
+// registry = no-op hooks): served-batch sizes record per pass, and a
+// snapshot-time collector exports per-partition load so hash-routing
+// imbalance (max/mean partition size) is visible next to the
+// skip-list's directory-routed equivalent.
+func (m *Map) instrument() {
+	reg := m.eng.Metrics()
+	m.batchSize = reg.Histogram("pimhash/batch_size")
+	reg.AddCollector(func(r *obs.Registry) {
+		total, max := 0, 0
+		for i, p := range m.parts {
+			n := p.table.Len()
+			total += n
+			if n > max {
+				max = n
+			}
+			pre := fmt.Sprintf("pimhash/part/%03d/", i)
+			r.Gauge(pre + "size").Set(int64(n))
+			r.Gauge(pre + "served").Set(int64(p.Served))
+		}
+		imbalance := 0.0
+		if total > 0 {
+			imbalance = float64(max) * float64(len(m.parts)) / float64(total)
+		}
+		r.FloatGauge("pimhash/imbalance").Set(imbalance)
+		r.Gauge("pimhash/total_len").Set(int64(total))
+	})
+}

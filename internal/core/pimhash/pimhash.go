@@ -20,6 +20,7 @@ import (
 	"fmt"
 
 	"pimds/internal/cds/seqhash"
+	"pimds/internal/obs"
 	"pimds/internal/sim"
 )
 
@@ -36,9 +37,12 @@ const (
 type Map struct {
 	eng   *sim.Engine
 	parts []*partition
+
+	batchSize *obs.Histogram // served-batch sizes (nil = disabled)
 }
 
 type partition struct {
+	m     *Map
 	core  *sim.PIMCore
 	table *seqhash.Table
 
@@ -52,10 +56,11 @@ func New(e *sim.Engine, k int) *Map {
 	}
 	m := &Map{eng: e}
 	for i := 0; i < k; i++ {
-		p := &partition{table: seqhash.New(64)}
+		p := &partition{m: m, table: seqhash.New(64)}
 		p.core = e.NewPIMCore(p.handle)
 		m.parts = append(m.parts, p)
 	}
+	m.instrument()
 	return m
 }
 
@@ -109,6 +114,7 @@ func (m *Map) TotalLen() int {
 // batching amortizes nothing structural, but replies pipeline).
 func (p *partition) handle(c *sim.PIMCore, m sim.Message) {
 	batch := c.TakeQueued([]sim.Message{m}, -1)
+	p.m.batchSize.Observe(int64(len(batch)))
 	for _, req := range batch {
 		p.table.ResetSteps()
 		var resp sim.Message

@@ -1,0 +1,40 @@
+package pimlist
+
+import (
+	"fmt"
+
+	"pimds/internal/obs"
+	"pimds/internal/sim"
+)
+
+// KindName maps the list protocol's message kinds to symbolic names for
+// metric paths and trace events (install with sim.Engine.SetKindNamer).
+func KindName(kind int) string {
+	switch kind {
+	case MsgContains:
+		return "Contains"
+	case MsgAdd:
+		return "Add"
+	case MsgRemove:
+		return "Remove"
+	case MsgResp:
+		return "Resp"
+	}
+	return fmt.Sprintf("kind_%02d", kind)
+}
+
+// instrument wires the list into the engine's metrics registry. With
+// metrics disabled every hook degrades to a nil no-op, so the hot path
+// stays untouched. Combined-batch sizes (the paper's key combining
+// statistic) record per traversal; totals and the current length export
+// through a snapshot-time collector.
+func (l *List) instrument(e *sim.Engine) {
+	reg := e.Metrics()
+	l.batchSize = reg.Histogram("pimlist/batch_size")
+	pre := fmt.Sprintf("pimlist/%03d/", l.core.ID())
+	reg.AddCollector(func(r *obs.Registry) {
+		r.Gauge(pre + "batches").Set(int64(l.Batches))
+		r.Gauge(pre + "served").Set(int64(l.Served))
+		r.Gauge(pre + "len").Set(int64(l.seq.Len()))
+	})
+}

@@ -15,6 +15,7 @@ package pimlist
 
 import (
 	"pimds/internal/cds/seqlist"
+	"pimds/internal/obs"
 	"pimds/internal/sim"
 )
 
@@ -42,6 +43,8 @@ type List struct {
 	Batches uint64
 	Served  uint64
 
+	batchSize *obs.Histogram // combined-batch sizes (nil = disabled)
+
 	ops  []seqlist.Op  // scratch
 	msgs []sim.Message // scratch
 }
@@ -57,6 +60,7 @@ func New(e *sim.Engine, combining bool) *List {
 	if combining {
 		l.core.ServiceDelay = 2*e.Config().Lmessage + sim.Nanosecond
 	}
+	l.instrument(e)
 	return l
 }
 
@@ -135,6 +139,7 @@ func (l *List) handle(c *sim.PIMCore, m sim.Message) {
 	}
 	l.Batches++
 	l.Served += uint64(len(l.msgs))
+	l.batchSize.Observe(int64(len(l.msgs)))
 }
 
 // NewClient returns a closed-loop client that issues the operation

@@ -162,6 +162,7 @@ func (cl *Client) onMessage(c *sim.CPU, m sim.Message) {
 		cl.Enqueued++
 		c.CountOp()
 		cl.Latency.Add(int64(c.Clock() - cl.issuedAt))
+		cl.q.eng.RecordOpLatency(MsgEnq, c.Clock()-cl.issuedAt)
 		if cl.OnComplete != nil {
 			cl.OnComplete(cl.issuedAt, c.Clock(), MsgEnq, int64(cl.idx)<<32|(cl.seq-1), true)
 		}
@@ -177,6 +178,7 @@ func (cl *Client) onMessage(c *sim.CPU, m sim.Message) {
 		cl.Dequeued++
 		c.CountOp()
 		cl.Latency.Add(int64(c.Clock() - cl.issuedAt))
+		cl.q.eng.RecordOpLatency(MsgDeq, c.Clock()-cl.issuedAt)
 		if cl.OnDequeue != nil {
 			cl.OnDequeue(m.Key)
 		}

@@ -1,0 +1,78 @@
+package pimqueue
+
+import (
+	"fmt"
+
+	"pimds/internal/obs"
+)
+
+// KindName maps the queue protocol's message kinds to symbolic names
+// for metric paths and trace events (install with
+// sim.Engine.SetKindNamer).
+func KindName(kind int) string {
+	switch kind {
+	case MsgEnq:
+		return "Enq"
+	case MsgDeq:
+		return "Deq"
+	case MsgEnqOK:
+		return "EnqOK"
+	case MsgEnqFail:
+		return "EnqFail"
+	case MsgDeqOK:
+		return "DeqOK"
+	case MsgDeqEmpty:
+		return "DeqEmpty"
+	case MsgDeqFail:
+		return "DeqFail"
+	case MsgNewEnqSeg:
+		return "NewEnqSeg"
+	case MsgNewDeqSeg:
+		return "NewDeqSeg"
+	case MsgEnqOwner:
+		return "EnqOwner"
+	case MsgDeqOwner:
+		return "DeqOwner"
+	case MsgOwnerAck:
+		return "OwnerAck"
+	case MsgFindEnq:
+		return "FindEnq"
+	case MsgFindDeq:
+		return "FindDeq"
+	case MsgFindResp:
+		return "FindResp"
+	case MsgSplit:
+		return "Split"
+	}
+	return fmt.Sprintf("kind_%02d", kind)
+}
+
+// instrument wires the queue into the engine's metrics registry (nil
+// registry = every hook is a no-op): fat-node combined-batch sizes
+// record per pass, and a snapshot-time collector exports per-core
+// segment-protocol counters plus the clients' retry/rediscovery
+// totals.
+func (q *Queue) instrument() {
+	reg := q.eng.Metrics()
+	q.batchSize = reg.Histogram("pimqueue/enq_batch")
+	reg.AddCollector(func(r *obs.Registry) {
+		for i, qc := range q.cores {
+			pre := fmt.Sprintf("pimqueue/core/%03d/", i)
+			r.Gauge(pre + "enqueues").Set(int64(qc.Enqueues))
+			r.Gauge(pre + "dequeues").Set(int64(qc.Dequeues))
+			r.Gauge(pre + "handoffs").Set(int64(qc.Handoffs))
+			r.Gauge(pre + "failed").Set(int64(qc.Failed))
+			r.Gauge(pre + "stashed").Set(int64(qc.Stashed))
+			r.Gauge(pre + "segs_made").Set(int64(qc.SegsMade))
+			r.Gauge(pre + "empty_deqs").Set(int64(qc.EmptyDeqs))
+		}
+		var retries, discovered uint64
+		for _, cl := range q.clients {
+			retries += cl.Retries
+			discovered += cl.Discovered
+		}
+		r.Gauge("pimqueue/client_retries").Set(int64(retries))
+		r.Gauge("pimqueue/rediscoveries").Set(int64(discovered))
+		r.Gauge("pimqueue/len").Set(int64(q.Len()))
+	})
+}

@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"sort"
 
+	"pimds/internal/obs"
 	"pimds/internal/sim"
 )
 
@@ -115,6 +116,8 @@ type Queue struct {
 	FatNodeWidth int
 
 	segSeq uint64 // creation counter for segment seqnos
+
+	batchSize *obs.Histogram // fat-node combined-batch sizes (nil = disabled)
 }
 
 // New creates a PIM queue spread over n fresh PIM cores. The queue
@@ -135,6 +138,7 @@ func New(e *sim.Engine, n, threshold int) *Queue {
 	q.cores[0].enqSeg = first
 	q.cores[0].deqSeg = first
 	q.cores[0].segs = append(q.cores[0].segs, first)
+	q.instrument()
 	return q
 }
 
@@ -335,6 +339,7 @@ func (qc *QueueCore) handleEnqFat(c *sim.PIMCore, m sim.Message) {
 		c.CountOp()
 		qc.reply(c, sim.Message{To: bm.From, Kind: MsgEnqOK})
 	}
+	qc.q.batchSize.Observe(int64(values))
 	c.Local()
 	c.Local()
 	for _, om := range others {

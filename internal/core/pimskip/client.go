@@ -93,7 +93,16 @@ func (cl *Client) onMessage(c *sim.CPU, m sim.Message) {
 	case MsgResp:
 		cl.Completed++
 		c.CountOp()
-		cl.Latency.Add(int64(c.Clock() - cl.issuedAt))
+		d := c.Clock() - cl.issuedAt
+		cl.Latency.Add(int64(d))
+		kind := MsgContains
+		switch cl.cur.Kind {
+		case seqskip.Add:
+			kind = MsgAdd
+		case seqskip.Remove:
+			kind = MsgRemove
+		}
+		cl.s.eng.RecordOpLatency(kind, d)
 		if cl.OnResult != nil {
 			cl.OnResult(cl.cur, m.OK)
 		}

@@ -222,6 +222,7 @@ func New(e *sim.Engine, keySpace int64, k int, seed uint64) *SkipList {
 	}
 	s.auth = NewDirectory(keySpace, cores)
 	s.control = e.NewCPU(func(c *sim.CPU, m sim.Message) {})
+	s.instrument()
 	return s
 }
 

@@ -1,0 +1,66 @@
+package pimstack
+
+import (
+	"fmt"
+
+	"pimds/internal/obs"
+)
+
+// KindName maps the stack protocol's message kinds to symbolic names
+// for metric paths and trace events (install with
+// sim.Engine.SetKindNamer).
+func KindName(kind int) string {
+	switch kind {
+	case MsgPush:
+		return "Push"
+	case MsgPop:
+		return "Pop"
+	case MsgPushOK:
+		return "PushOK"
+	case MsgPopOK:
+		return "PopOK"
+	case MsgPopEmpty:
+		return "PopEmpty"
+	case MsgPushFail:
+		return "PushFail"
+	case MsgPopFail:
+		return "PopFail"
+	case MsgNewTopSeg:
+		return "NewTopSeg"
+	case MsgRevertTop:
+		return "RevertTop"
+	case MsgTopOwner:
+		return "TopOwner"
+	case MsgFindTop:
+		return "FindTop"
+	case MsgFindResp:
+		return "FindResp"
+	}
+	return fmt.Sprintf("kind_%02d", kind)
+}
+
+// instrument registers a snapshot-time collector exporting the
+// segment-protocol counters per core and the clients' retry and
+// rediscovery totals. A nil registry makes this a no-op.
+func (s *Stack) instrument() {
+	reg := s.eng.Metrics()
+	reg.AddCollector(func(r *obs.Registry) {
+		for i, sc := range s.cores {
+			pre := fmt.Sprintf("pimstack/core/%03d/", i)
+			r.Gauge(pre + "pushes").Set(int64(sc.Pushes))
+			r.Gauge(pre + "pops").Set(int64(sc.Pops))
+			r.Gauge(pre + "overflows").Set(int64(sc.Overflows))
+			r.Gauge(pre + "reverts").Set(int64(sc.Reverts))
+			r.Gauge(pre + "failed").Set(int64(sc.Failed))
+			r.Gauge(pre + "empty_pops").Set(int64(sc.EmptyPops))
+		}
+		var retries, discovered uint64
+		for _, cl := range s.clients {
+			retries += cl.Retries
+			discovered += cl.Discovered
+		}
+		r.Gauge("pimstack/client_retries").Set(int64(retries))
+		r.Gauge("pimstack/rediscoveries").Set(int64(discovered))
+		r.Gauge("pimstack/len").Set(int64(s.Len()))
+	})
+}

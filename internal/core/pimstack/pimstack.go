@@ -96,6 +96,7 @@ func New(e *sim.Engine, n, threshold int) *Stack {
 	bottom := &segment{}
 	s.cores[0].topSeg = bottom
 	s.cores[0].segs = append(s.cores[0].segs, bottom)
+	s.instrument()
 	return s
 }
 
@@ -397,6 +398,7 @@ func (cl *Client) onMessage(c *sim.CPU, m sim.Message) {
 		cl.Pushed++
 		c.CountOp()
 		cl.Latency.Add(int64(c.Clock() - cl.issuedAt))
+		cl.s.eng.RecordOpLatency(MsgPush, c.Clock()-cl.issuedAt)
 		if cl.OnComplete != nil {
 			cl.OnComplete(cl.issuedAt, c.Clock(), MsgPush, int64(cl.idx)<<32|(cl.seq-1), true)
 		}
@@ -405,6 +407,7 @@ func (cl *Client) onMessage(c *sim.CPU, m sim.Message) {
 		cl.Popped++
 		c.CountOp()
 		cl.Latency.Add(int64(c.Clock() - cl.issuedAt))
+		cl.s.eng.RecordOpLatency(MsgPop, c.Clock()-cl.issuedAt)
 		if cl.OnPop != nil {
 			cl.OnPop(m.Key)
 		}

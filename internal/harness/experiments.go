@@ -36,6 +36,11 @@ type Options struct {
 	HostThreads int
 	// HostMeasure is the per-point host measurement window.
 	HostMeasure time.Duration
+	// Seed perturbs every simulator workload generator (see
+	// SimOpts.Seed). 0 keeps the historical streams. Host-emulation
+	// experiments measure wall-clock time and are not reproducible
+	// regardless of seed.
+	Seed int64
 }
 
 // DefaultOptions returns the standard configuration.
@@ -50,6 +55,7 @@ func DefaultOptions() Options {
 func (o Options) simOpts() SimOpts {
 	so := DefaultSimOpts()
 	so.Params = o.Params
+	so.Seed = o.Seed
 	if o.Quick {
 		so = so.quickened()
 	}
@@ -153,14 +159,15 @@ func Table1Exp(o Options) []*Table {
 
 	t := &Table{
 		Title:   fmt.Sprintf("Table 1 — linked-lists (n=%d, p=%d, r1=%v)", n, p, o.Params.R1),
-		Columns: []string{"algorithm", "formula", "model ops/s", "sim ops/s"},
-		Note:    "sim: uniform keys, balanced add/remove, virtual time",
+		Columns: []string{"algorithm", "formula", "model ops/s", "sim ops/s", "p50", "p95", "p99"},
+		Note:    "sim: uniform keys, balanced add/remove, virtual time; percentiles are inject→reply latency (message clients only)",
 	}
 	for _, a := range model.ListAlgorithms() {
 		rows := model.Table1(o.Params, lc)
 		row := rows[int(a)]
-		simOps := SimList(so, a, p, keySpace)
-		t.AddRow(row.Algorithm, row.Formula, row.OpsPerSec, simOps)
+		res := SimList(so, a, p, keySpace)
+		p50, p95, p99 := res.Percentiles()
+		t.AddRow(row.Algorithm, row.Formula, row.OpsPerSec, res.Ops, p50, p95, p99)
 	}
 	return []*Table{t}
 }
@@ -174,7 +181,7 @@ func Table2Exp(o Options) []*Table {
 	k := 4
 	so := o.simOpts()
 
-	pimOps, beta := SimSkipPIM(so, k, p, keySpace)
+	pimRes, beta := SimSkipPIM(so, k, p, keySpace)
 	if beta == 0 {
 		beta = model.Beta(keySpace / 2)
 	}
@@ -182,18 +189,20 @@ func Table2Exp(o Options) []*Table {
 
 	t := &Table{
 		Title:   fmt.Sprintf("Table 2 — skip-lists (N=%d, p=%d, k=%d, β=%.1f measured)", keySpace/2, p, k, beta),
-		Columns: []string{"algorithm", "formula", "model ops/s", "sim ops/s"},
+		Columns: []string{"algorithm", "formula", "model ops/s", "sim ops/s", "p50", "p95", "p99"},
 	}
 	rows := model.Table2(o.Params, sc)
-	sims := []float64{
+	pim1, _ := SimSkipPIM(so, 1, p, keySpace)
+	sims := []RunResult{
 		SimSkipLockFree(so, p, keySpace, false),
 		SimSkipFC(so, 1, p, keySpace),
-		func() float64 { ops, _ := SimSkipPIM(so, 1, p, keySpace); return ops }(),
+		pim1,
 		SimSkipFC(so, k, p, keySpace),
-		pimOps,
+		pimRes,
 	}
 	for i, row := range rows {
-		t.AddRow(row.Algorithm, row.Formula, row.OpsPerSec, sims[i])
+		p50, p95, p99 := sims[i].Percentiles()
+		t.AddRow(row.Algorithm, row.Formula, row.OpsPerSec, sims[i].Ops, p50, p95, p99)
 	}
 	return []*Table{t}
 }
@@ -205,29 +214,31 @@ func QueueExp(o Options) []*Table {
 	p := 12
 	qc := model.QueueConfig{P: p}
 
-	pim := SimPIMQueue(so, QueueRegime{
+	pimRes := SimPIMQueue(so, QueueRegime{
 		Cores: 2, Threshold: 1 << 30, Pipelining: true,
 		Dequeuers: p, PrefillLong: true,
 	})
-	faa := SimQueueFAA(so, 1, false) // one side, serialized bound
-	fc := SimQueueFC(so, 2*p, false) / 2
+	pim := pimRes.Ops
+	faa := SimQueueFAA(so, 1, false).Ops // one side, serialized bound
+	fc := SimQueueFC(so, 2*p, false).Ops / 2
 
 	t := &Table{
 		Title:   fmt.Sprintf("§5.2 — FIFO queues (p=%d per side, r1=%v r2=%v r3=%v)", p, o.Params.R1, o.Params.R2, o.Params.R3),
-		Columns: []string{"algorithm", "bound", "model ops/s", "sim ops/s"},
+		Columns: []string{"algorithm", "bound", "model ops/s", "sim ops/s", "p50", "p95", "p99"},
 		Note:    "PIM/FC and PIM/F&A ratios should be ≈ 2·r1/r2 and r1·r3",
 	}
 	rows := model.QueueTable(o.Params, qc)
-	sims := []float64{faa, fc, pim}
+	sims := []RunResult{{Ops: faa}, {Ops: fc}, pimRes}
 	for i, row := range rows {
-		t.AddRow(row.Algorithm, row.Formula, row.OpsPerSec, sims[i])
+		p50, p95, p99 := sims[i].Percentiles()
+		t.AddRow(row.Algorithm, row.Formula, row.OpsPerSec, sims[i].Ops, p50, p95, p99)
 	}
-	t.AddRow("PIM / FC ratio", "2·r1/r2", model.PIMQueueVsFCSpeedup(o.Params), pim/fc)
-	t.AddRow("PIM / F&A ratio", "r1·r3", model.PIMQueueVsFAASpeedup(o.Params), pim/faa)
+	t.AddRow("PIM / FC ratio", "2·r1/r2", model.PIMQueueVsFCSpeedup(o.Params), pim/fc, "", "", "")
+	t.AddRow("PIM / F&A ratio", "r1·r3", model.PIMQueueVsFAASpeedup(o.Params), pim/faa, "", "", "")
 	// Footnote 5: the FC bound assumed publication slots hit the LLC;
 	// charge the miss and the gap widens.
-	fcMiss := SimQueueFC(so, 2*p, true) / 2
-	t.AddRow("FC queue, slots miss LLC (fn.5)", "1/(2·Lllc+Lcpu)", "—", fcMiss)
+	fcMiss := SimQueueFC(so, 2*p, true).Ops / 2
+	t.AddRow("FC queue, slots miss LLC (fn.5)", "1/(2·Lllc+Lcpu)", "—", fcMiss, "", "", "")
 	return []*Table{t}
 }
 
@@ -246,11 +257,11 @@ func Fig2Exp(o Options) []*Table {
 	}
 	for _, p := range o.threadSweep() {
 		t.AddRow(p,
-			SimList(so, model.FineGrainedLockList, p, keySpace),
-			SimList(so, model.FCListNoCombining, p, keySpace),
-			SimList(so, model.FCListCombining, p, keySpace),
-			SimList(so, model.PIMListNoCombining, p, keySpace),
-			SimList(so, model.PIMListCombining, p, keySpace),
+			SimList(so, model.FineGrainedLockList, p, keySpace).Ops,
+			SimList(so, model.FCListNoCombining, p, keySpace).Ops,
+			SimList(so, model.FCListCombining, p, keySpace).Ops,
+			SimList(so, model.PIMListNoCombining, p, keySpace).Ops,
+			SimList(so, model.PIMListCombining, p, keySpace).Ops,
 		)
 	}
 	return []*Table{t}
@@ -335,12 +346,12 @@ func Fig4Exp(o Options) []*Table {
 		pim8, _ := SimSkipPIM(so, 8, p, keySpace)
 		pim16, _ := SimSkipPIM(so, 16, p, keySpace)
 		t.AddRow(p,
-			SimSkipLockFree(so, p, keySpace, false),
-			SimSkipFC(so, 1, p, keySpace),
-			SimSkipFC(so, 4, p, keySpace),
-			SimSkipFC(so, 8, p, keySpace),
-			SimSkipFC(so, 16, p, keySpace),
-			pim8, pim16,
+			SimSkipLockFree(so, p, keySpace, false).Ops,
+			SimSkipFC(so, 1, p, keySpace).Ops,
+			SimSkipFC(so, 4, p, keySpace).Ops,
+			SimSkipFC(so, 8, p, keySpace).Ops,
+			SimSkipFC(so, 16, p, keySpace).Ops,
+			pim8.Ops, pim16.Ops,
 		)
 	}
 	return []*Table{t}
@@ -474,9 +485,9 @@ func QueueHostExp(o Options) []*Table {
 func QueueShortExp(o Options) []*Table {
 	so := o.simOpts()
 	long := SimPIMQueue(so, QueueRegime{Cores: 2, Threshold: 1 << 30, Pipelining: true,
-		Enqueuers: 10, Dequeuers: 10, PrefillLong: true})
+		Enqueuers: 10, Dequeuers: 10, PrefillLong: true}).Ops
 	short := SimPIMQueue(so, QueueRegime{Cores: 1, Threshold: 1 << 30, Pipelining: true,
-		Enqueuers: 10, Dequeuers: 10, PrefillLong: true})
+		Enqueuers: 10, Dequeuers: 10, PrefillLong: true}).Ops
 	t := &Table{
 		Title:   "§5.2 — PIM queue: long vs short queue",
 		Columns: []string{"regime", "sim ops/s", "model"},
@@ -491,9 +502,9 @@ func QueueShortExp(o Options) []*Table {
 func QueuePipelineExp(o Options) []*Table {
 	so := o.simOpts()
 	reg := QueueRegime{Cores: 2, Threshold: 1 << 30, Pipelining: true, Dequeuers: 12, PrefillLong: true}
-	on := SimPIMQueue(so, reg)
+	on := SimPIMQueue(so, reg).Ops
 	reg.Pipelining = false
-	off := SimPIMQueue(so, reg)
+	off := SimPIMQueue(so, reg).Ops
 	t := &Table{
 		Title:   "Ablation — PIM queue pipelining (dequeue side, 12 clients)",
 		Columns: []string{"pipelining", "sim ops/s", "expected"},
@@ -515,7 +526,7 @@ func QueueThresholdExp(o Options) []*Table {
 	for _, th := range []int{4, 16, 64, 256, 1024} {
 		ops := SimPIMQueue(so, QueueRegime{Cores: 4, Threshold: th, Pipelining: true,
 			Enqueuers: 6, Dequeuers: 6})
-		t.AddRow(th, ops)
+		t.AddRow(th, ops.Ops)
 	}
 	return []*Table{t}
 }
@@ -529,9 +540,9 @@ func QueueNotifyExp(o Options) []*Table {
 		Columns: []string{"scheme", "sim ops/s"},
 	}
 	nb := SimPIMQueue(so, QueueRegime{Cores: 4, Threshold: 16, Pipelining: true,
-		Enqueuers: 6, Dequeuers: 6})
+		Enqueuers: 6, Dequeuers: 6}).Ops
 	bl := SimPIMQueue(so, QueueRegime{Cores: 4, Threshold: 16, Pipelining: true,
-		BlockingNotify: true, Enqueuers: 6, Dequeuers: 6})
+		BlockingNotify: true, Enqueuers: 6, Dequeuers: 6}).Ops
 	t.AddRow("non-blocking (notify and continue)", nb)
 	t.AddRow("blocking (wait for all acks)", bl)
 	return []*Table{t}
@@ -549,15 +560,15 @@ func ListClaimsExp(o Options) []*Table {
 	}
 	// Claim 1: naive PIM loses to fine-grained locks once p exceeds
 	// r1 (at p = r1 the model predicts an exact tie, so test p = 4).
-	naive := SimList(so, model.PIMListNoCombining, 4, keySpace)
-	fgl := SimList(so, model.FineGrainedLockList, 4, keySpace)
+	naive := SimList(so, model.PIMListNoCombining, 4, keySpace).Ops
+	fgl := SimList(so, model.FineGrainedLockList, 4, keySpace).Ops
 	t.AddRow("naive PIM < fine-grained @ p=4 > r1", naive, fgl, naive < fgl)
 	// Claim 2: PIM+combining ≥ 1.5 × fine-grained at r1 = 3, p = 8.
-	pim := SimList(so, model.PIMListCombining, 8, keySpace)
-	fgl8 := SimList(so, model.FineGrainedLockList, 8, keySpace)
+	pim := SimList(so, model.PIMListCombining, 8, keySpace).Ops
+	fgl8 := SimList(so, model.FineGrainedLockList, 8, keySpace).Ops
 	t.AddRow("PIM+combining ≥ 1.5×fine-grained @ p=8", pim, 1.5*fgl8, pim >= 1.5*fgl8*0.9)
 	// Claim 3: PIM ≈ r1 × FC (both with combining).
-	fcc := SimList(so, model.FCListCombining, 8, keySpace)
+	fcc := SimList(so, model.FCListCombining, 8, keySpace).Ops
 	t.AddRow("PIM+combining ≈ r1 × FC+combining", pim, o.Params.R1*fcc, ratioNear(pim, o.Params.R1*fcc, 0.2))
 	return []*Table{t}
 }
@@ -573,12 +584,14 @@ func SkipClaimsExp(o Options) []*Table {
 	}
 	_, beta := SimSkipPIM(so, 4, p, keySpace)
 	kMin := model.MinKForPIMSkipWin(o.Params, model.SkipConfig{N: keySpace / 2, P: p, BetaOverride: beta})
-	pimK, _ := SimSkipPIM(so, kMin, p, keySpace)
-	lf := SimSkipLockFree(so, p, keySpace, false)
+	pimKRes, _ := SimSkipPIM(so, kMin, p, keySpace)
+	pimK := pimKRes.Ops
+	lf := SimSkipLockFree(so, p, keySpace, false).Ops
 	t.AddRow(fmt.Sprintf("PIM k=%d (min k) > lock-free @ p=%d", kMin, p), pimK, lf, pimK > lf*0.95)
 
-	pim4, _ := SimSkipPIM(so, 4, p, keySpace)
-	fc4 := SimSkipFC(so, 4, p, keySpace)
+	pim4Res, _ := SimSkipPIM(so, 4, p, keySpace)
+	pim4 := pim4Res.Ops
+	fc4 := SimSkipFC(so, 4, p, keySpace).Ops
 	t.AddRow("PIM k=4 ≈ r1 × FC k=4", pim4, o.Params.R1*fc4, ratioNear(pim4, o.Params.R1*fc4, 0.25))
 	return []*Table{t}
 }
@@ -673,12 +686,12 @@ func R1SweepExp(o Options) []*Table {
 		so := o.simOpts()
 		so.Params = params
 
-		list := SimList(so, model.PIMListCombining, 8, 400) /
-			SimList(so, model.FineGrainedLockList, 8, 400)
+		list := SimList(so, model.PIMListCombining, 8, 400).Ops /
+			SimList(so, model.FineGrainedLockList, 8, 400).Ops
 		pim8, _ := SimSkipPIM(so, 8, 16, 1<<14)
-		skip := pim8 / SimSkipLockFree(so, 16, 1<<14, false)
+		skip := pim8.Ops / SimSkipLockFree(so, 16, 1<<14, false).Ops
 		queue := SimPIMQueue(so, QueueRegime{Cores: 2, Threshold: 1 << 30, Pipelining: true,
-			Dequeuers: 12, PrefillLong: true}) / (SimQueueFC(so, 24, false) / 2)
+			Dequeuers: 12, PrefillLong: true}).Ops / (SimQueueFC(so, 24, false).Ops / 2)
 		t.AddRow(fmt.Sprintf("%.0f", r1), list, skip, queue)
 	}
 	return []*Table{t}
@@ -850,7 +863,7 @@ func HashExp(o Options) []*Table {
 	return []*Table{t}
 }
 
-// LatencyExp reports operation response times (p50/p90/p99) for the
+// LatencyExp reports operation response times (p50/p95/p99) for the
 // PIM structures — something the paper's throughput-only model cannot
 // see. It exposes the combining list's latency/throughput tradeoff:
 // the batching window adds one round trip of latency at low load.
@@ -859,12 +872,12 @@ func LatencyExp(o Options) []*Table {
 	const keySpace = 400
 	t := &Table{
 		Title:   "Extension — response-time percentiles (virtual time)",
-		Columns: []string{"structure", "clients", "ops/s", "p50", "p90", "p99"},
+		Columns: []string{"structure", "clients", "ops/s", "p50", "p95", "p99"},
 		Note:    "the combining list trades one round trip of low-load latency for batching throughput",
 	}
 	ps := func(h *stats.Histogram) (string, string, string) {
-		p50, p90, p99 := h.Percentiles()
-		return sim.Time(p50).String(), sim.Time(p90).String(), sim.Time(p99).String()
+		p50, p95, p99 := h.Percentiles()
+		return sim.Time(p50).String(), sim.Time(p95).String(), sim.Time(p99).String()
 	}
 
 	for _, cfg := range []struct {
@@ -883,15 +896,15 @@ func LatencyExp(o Options) []*Table {
 		agg := stats.NewHistogram(16)
 		var clients []*sim.Client
 		for i := 0; i < cfg.p; i++ {
-			g := NewGenerator(int64(600+i), Uniform{N: keySpace}, Balanced())
+			g := NewGenerator(so.seed(int64(600+i)), Uniform{N: keySpace}, Balanced())
 			cl := l.NewClient(e, g.ListStream())
 			cl.Latency = agg // share one histogram across clients
 			clients = append(clients, cl)
 		}
 		m := &sim.Meter{Engine: e, Clients: clients}
 		_, ops := m.Run(so.Warmup, so.Measure)
-		p50, p90, p99 := ps(agg)
-		t.AddRow(cfg.name, cfg.p, ops, p50, p90, p99)
+		p50, p95, p99 := ps(agg)
+		t.AddRow(cfg.name, cfg.p, ops, p50, p95, p99)
 	}
 
 	// PIM skip-list, k=8, p=16.
@@ -902,7 +915,7 @@ func LatencyExp(o Options) []*Table {
 		agg := stats.NewHistogram(16)
 		var cls []*pimskip.Client
 		for i := 0; i < 16; i++ {
-			g := NewGenerator(int64(650+i), Uniform{N: 1 << 14}, Balanced())
+			g := NewGenerator(so.seed(int64(650+i)), Uniform{N: 1 << 14}, Balanced())
 			cl := s.NewClient(g.SkipStream())
 			cl.Latency = agg
 			cls = append(cls, cl)
@@ -920,8 +933,8 @@ func LatencyExp(o Options) []*Table {
 			return total
 		}
 		_, ops := sim.Measure(e, start, snapshot, so.Warmup, so.Measure)
-		p50, p90, p99 := ps(agg)
-		t.AddRow("PIM skip-list k=8", 16, ops, p50, p90, p99)
+		p50, p95, p99 := ps(agg)
+		t.AddRow("PIM skip-list k=8", 16, ops, p50, p95, p99)
 	}
 
 	// PIM queue, dequeue side.
@@ -948,8 +961,8 @@ func LatencyExp(o Options) []*Table {
 			}
 		}
 		_, ops := sim.Measure(e, start, sim.OpsOfCPUs(cpus), so.Warmup, so.Measure)
-		p50, p90, p99 := ps(agg)
-		t.AddRow("PIM queue (deq side)", 12, ops, p50, p90, p99)
+		p50, p95, p99 := ps(agg)
+		t.AddRow("PIM queue (deq side)", 12, ops, p50, p95, p99)
 	}
 	return []*Table{t}
 }
@@ -1047,8 +1060,8 @@ func ListSizesExp(o Options) []*Table {
 	}
 	for _, keySpace := range []int64{100, 400, 1600, 6400} {
 		n := int(keySpace / 2)
-		fgl := SimList(so, model.FineGrainedLockList, 8, keySpace)
-		pim := SimList(so, model.PIMListCombining, 8, keySpace)
+		fgl := SimList(so, model.FineGrainedLockList, 8, keySpace).Ops
+		pim := SimList(so, model.PIMListCombining, 8, keySpace).Ops
 		lc := model.ListConfig{N: n, P: 8}
 		modelRatio := model.ListPIMCombining(o.Params, lc) / model.ListFineGrainedLocks(o.Params, lc)
 		t.AddRow(n, fgl, pim, pim/fgl, modelRatio)
@@ -1174,11 +1187,11 @@ func QueueScalingExp(o Options) []*Table {
 		Columns: []string{"clients/side", "PIM queue (deq side)", "FC bound/side", "F&A bound/side"},
 		Note:    "saturation: PIM → 1/Lpim, FC → 1/(2·Lllc), F&A → 1/Latomic",
 	}
-	faa := SimQueueFAA(so, 1, false) // one line: serialized at Latomic for any p
+	faa := SimQueueFAA(so, 1, false).Ops // one line: serialized at Latomic for any p
 	for _, p := range []int{1, 2, 4, 8, 16, 24} {
 		pim := SimPIMQueue(so, QueueRegime{Cores: 2, Threshold: 1 << 30, Pipelining: true,
-			Dequeuers: p, PrefillLong: true})
-		fc := SimQueueFC(so, 2*p, false) / 2
+			Dequeuers: p, PrefillLong: true}).Ops
+		fc := SimQueueFC(so, 2*p, false).Ops / 2
 		t.AddRow(p, pim, fc, faa)
 	}
 	return []*Table{t}

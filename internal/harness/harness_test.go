@@ -3,6 +3,7 @@ package harness
 import (
 	"math/rand"
 	"strings"
+	"sync/atomic"
 	"testing"
 	"testing/quick"
 	"time"
@@ -155,9 +156,9 @@ func TestFormatFloat(t *testing.T) {
 }
 
 func TestHostThroughputCounts(t *testing.T) {
-	var sink int64
+	var sink atomic.Int64
 	ops := HostThroughput(2, 10*time.Millisecond, 50*time.Millisecond, func(tid int, rng *rand.Rand) func() {
-		return func() { sink++ }
+		return func() { sink.Add(1) }
 	})
 	// A trivial op runs at many millions per second; just check the
 	// loop actually measured something substantial.
@@ -258,7 +259,7 @@ func TestSimListMatchesModelProperty(t *testing.T) {
 	so.Measure /= 5
 	f := func(pRaw uint8) bool {
 		p := int(pRaw%12) + 1
-		got := SimList(so, model.FineGrainedLockList, p, 400)
+		got := SimList(so, model.FineGrainedLockList, p, 400).Ops
 		want := model.ListFineGrainedLocks(so.Params, model.ListConfig{N: 200, P: p})
 		return got > want*0.6 && got < want*1.4
 	}

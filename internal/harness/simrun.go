@@ -10,6 +10,7 @@ import (
 	"pimds/internal/core/pimskip"
 	"pimds/internal/model"
 	"pimds/internal/sim"
+	"pimds/internal/stats"
 )
 
 // SimOpts configures one virtual-time measurement.
@@ -17,6 +18,20 @@ type SimOpts struct {
 	Params  model.Params
 	Warmup  sim.Time
 	Measure sim.Time
+
+	// Seed perturbs every workload generator in the run. Identical
+	// (Seed, opts) always produce bit-identical virtual-time results —
+	// the simulator is a deterministic discrete-event machine and the
+	// generators are seeded PRNGs. Seed 0 reproduces the legacy
+	// (pre-Seed) streams exactly.
+	Seed int64
+}
+
+// seed derives a generator seed from a call-site-specific base, folding
+// in the run's Seed. With Seed == 0 it returns base unchanged, keeping
+// historical outputs stable.
+func (o SimOpts) seed(base int64) int64 {
+	return base + o.Seed*1_000_003
 }
 
 // DefaultSimOpts returns the standard measurement windows at the
@@ -36,10 +51,31 @@ func (o SimOpts) quickened() SimOpts {
 	return o
 }
 
+// RunResult is the outcome of one virtual-time measurement: completed
+// operations in the window, throughput, and (for variants driven by
+// message clients) the per-operation inject→reply latency histogram.
+// Latency is nil for the loop-based CPU baselines, which complete
+// operations without request/response traffic.
+type RunResult struct {
+	Completed uint64
+	Ops       float64
+	Latency   *stats.Histogram
+}
+
+// Percentiles renders the latency histogram's p50/p95/p99 as
+// virtual-time strings, or em-dashes when no latency was recorded.
+func (r RunResult) Percentiles() (p50, p95, p99 string) {
+	if r.Latency == nil || r.Latency.N() == 0 {
+		return "—", "—", "—"
+	}
+	a, b, c := r.Latency.Percentiles()
+	return sim.Time(a).String(), sim.Time(b).String(), sim.Time(c).String()
+}
+
 // SimList measures one Table 1 row in virtual time: variant selects
 // the algorithm. p CPU threads, uniform keys over keySpace, balanced
 // add/remove, initial occupancy 1/2.
-func SimList(o SimOpts, variant model.ListAlgorithm, p int, keySpace int64) float64 {
+func SimList(o SimOpts, variant model.ListAlgorithm, p int, keySpace int64) RunResult {
 	cfg := sim.ConfigFromParams(o.Params)
 	e := sim.NewEngine(cfg)
 	keys := PreloadKeys(keySpace)
@@ -49,52 +85,58 @@ func SimList(o SimOpts, variant model.ListAlgorithm, p int, keySpace int64) floa
 	case model.PIMListNoCombining, model.PIMListCombining:
 		l := pimlist.New(e, variant == model.PIMListCombining)
 		l.Preload(keys)
+		agg := stats.NewHistogram(16)
 		var clients []*sim.Client
 		for i := 0; i < p; i++ {
-			g := NewGenerator(int64(1000+i), dist, Balanced())
-			clients = append(clients, l.NewClient(e, g.ListStream()))
+			g := NewGenerator(o.seed(int64(1000+i)), dist, Balanced())
+			cl := l.NewClient(e, g.ListStream())
+			cl.Latency = agg // one histogram across clients
+			clients = append(clients, cl)
 		}
 		m := &sim.Meter{Engine: e, Clients: clients}
-		_, ops := m.Run(o.Warmup, o.Measure)
-		return ops
+		completed, ops := m.Run(o.Warmup, o.Measure)
+		return RunResult{Completed: completed, Ops: ops, Latency: agg}
 
 	case model.FineGrainedLockList:
 		gens := make([]*Generator, p)
 		for i := range gens {
-			gens[i] = NewGenerator(int64(2000+i), dist, Balanced())
+			gens[i] = NewGenerator(o.seed(int64(2000+i)), dist, Balanced())
 		}
 		s := pimlist.NewSimFineGrained(e, p, func(cpu int, _ uint64) (op listOp) {
 			return gens[cpu].Next().ToList()
 		})
 		s.Preload(keys)
-		_, ops := sim.Measure(e, func() {}, s.Ops(), o.Warmup, o.Measure)
-		return ops
+		completed, ops := sim.Measure(e, func() {}, s.Ops(), o.Warmup, o.Measure)
+		return RunResult{Completed: completed, Ops: ops}
 
 	case model.FCListNoCombining, model.FCListCombining:
-		g := NewGenerator(3000, dist, Balanced())
+		g := NewGenerator(o.seed(3000), dist, Balanced())
 		s := pimlist.NewSimFCList(e, p, variant == model.FCListCombining, func(uint64) listOp {
 			return g.Next().ToList()
 		})
 		s.Preload(keys)
-		_, ops := sim.Measure(e, func() {}, s.Ops(), o.Warmup, o.Measure)
-		return ops
+		completed, ops := sim.Measure(e, func() {}, s.Ops(), o.Warmup, o.Measure)
+		return RunResult{Completed: completed, Ops: ops}
 	}
-	return 0
+	return RunResult{}
 }
 
 // listOp aliases the sequential-list op type to keep signatures short.
 type listOp = seqlist.Op
 
 // SimSkipPIM measures the PIM skip-list with k partitions; it returns
-// throughput and the measured average traversal length β (vault reads
-// per operation), which feeds the model cross-check.
-func SimSkipPIM(o SimOpts, k, p int, keySpace int64) (opsPerSec, beta float64) {
+// the measurement and the measured average traversal length β (vault
+// reads per operation), which feeds the model cross-check.
+func SimSkipPIM(o SimOpts, k, p int, keySpace int64) (res RunResult, beta float64) {
 	e := sim.NewEngine(sim.ConfigFromParams(o.Params))
 	s := pimskip.New(e, keySpace, k, 23)
 	s.Preload(PreloadKeys(keySpace))
+	agg := stats.NewHistogram(16)
 	for i := 0; i < p; i++ {
-		g := NewGenerator(int64(90+i), Uniform{N: keySpace}, Balanced())
-		s.NewClient(g.SkipStream()).Start()
+		g := NewGenerator(o.seed(int64(90+i)), Uniform{N: keySpace}, Balanced())
+		cl := s.NewClient(g.SkipStream())
+		cl.Latency = agg
+		cl.Start()
 	}
 	snapshot := func() uint64 {
 		var total uint64
@@ -103,31 +145,32 @@ func SimSkipPIM(o SimOpts, k, p int, keySpace int64) (opsPerSec, beta float64) {
 		}
 		return total
 	}
-	_, ops := sim.Measure(e, func() {}, snapshot, o.Warmup, o.Measure)
+	completed, ops := sim.Measure(e, func() {}, snapshot, o.Warmup, o.Measure)
+	res = RunResult{Completed: completed, Ops: ops, Latency: agg}
 	var reads, opsN uint64
 	for _, part := range s.Partitions() {
 		reads += part.Core().Vault().Reads
 		opsN += part.Core().Stats.Ops
 	}
 	if opsN == 0 {
-		return ops, 0
+		return res, 0
 	}
-	return ops, float64(reads) / float64(opsN)
+	return res, float64(reads) / float64(opsN)
 }
 
 // SimSkipLockFree measures the simulated lock-free skip-list baseline.
-func SimSkipLockFree(o SimOpts, p int, keySpace int64, chargeCAS bool) float64 {
+func SimSkipLockFree(o SimOpts, p int, keySpace int64, chargeCAS bool) RunResult {
 	e := sim.NewEngine(sim.ConfigFromParams(o.Params))
 	gens := make([]*Generator, p)
 	for i := range gens {
-		gens[i] = NewGenerator(int64(400+i), Uniform{N: keySpace}, Balanced())
+		gens[i] = NewGenerator(o.seed(int64(400+i)), Uniform{N: keySpace}, Balanced())
 	}
 	s := pimskip.NewSimLockFree(e, p, chargeCAS, func(cpu int, _ uint64) skipOp {
 		return gens[cpu].Next().ToSkip()
 	})
 	s.Preload(PreloadKeys(keySpace))
-	_, ops := sim.Measure(e, func() {}, s.Ops(), o.Warmup, o.Measure)
-	return ops
+	completed, ops := sim.Measure(e, func() {}, s.Ops(), o.Warmup, o.Measure)
+	return RunResult{Completed: completed, Ops: ops}
 }
 
 // skipOp aliases the sequential-skip-list op type.
@@ -135,13 +178,13 @@ type skipOp = seqskip.Op
 
 // SimSkipFC measures the simulated partitioned flat-combining
 // skip-list baseline.
-func SimSkipFC(o SimOpts, k, p int, keySpace int64) float64 {
+func SimSkipFC(o SimOpts, k, p int, keySpace int64) RunResult {
 	e := sim.NewEngine(sim.ConfigFromParams(o.Params))
 	gens := make([]*Generator, k)
 	for i := range gens {
 		lo := int64(i) * keySpace / int64(k)
 		hi := int64(i+1) * keySpace / int64(k)
-		gens[i] = NewGenerator(int64(300+i), rangeDist{lo: lo, hi: hi}, Balanced())
+		gens[i] = NewGenerator(o.seed(int64(300+i)), rangeDist{lo: lo, hi: hi}, Balanced())
 	}
 	s := pimskip.NewSimFCSkip(e, keySpace, k, p, func(part int, _ uint64) skipOp {
 		return gens[part].Next().ToSkip()
@@ -155,8 +198,8 @@ func SimSkipFC(o SimOpts, k, p int, keySpace int64) float64 {
 		}
 		s.PreloadPartition(i, keys)
 	}
-	_, ops := sim.Measure(e, func() {}, s.Ops(), o.Warmup, o.Measure)
-	return ops
+	completed, ops := sim.Measure(e, func() {}, s.Ops(), o.Warmup, o.Measure)
+	return RunResult{Completed: completed, Ops: ops}
 }
 
 // rangeDist draws uniformly from [lo, hi).
@@ -184,9 +227,8 @@ type QueueRegime struct {
 	PrefillLong    bool // prefill ~1M values and separate the two ends
 }
 
-// SimPIMQueue measures the PIM queue under the given regime and
-// returns completed client operations per second.
-func SimPIMQueue(o SimOpts, r QueueRegime) float64 {
+// SimPIMQueue measures the PIM queue under the given regime.
+func SimPIMQueue(o SimOpts, r QueueRegime) RunResult {
 	e := sim.NewEngine(sim.ConfigFromParams(o.Params))
 	q := pimqueue.New(e, r.Cores, r.Threshold)
 	q.Pipelining = r.Pipelining
@@ -198,15 +240,18 @@ func SimPIMQueue(o SimOpts, r QueueRegime) float64 {
 		}
 		q.Preload(vals)
 	}
+	agg := stats.NewHistogram(16)
 	var cpus []*sim.CPU
 	var clients []*pimqueue.Client
 	for i := 0; i < r.Enqueuers; i++ {
 		cl := q.NewClient(pimqueue.Enqueuer)
+		cl.Latency = agg
 		clients = append(clients, cl)
 		cpus = append(cpus, cl.CPU())
 	}
 	for i := 0; i < r.Dequeuers; i++ {
 		cl := q.NewClient(pimqueue.Dequeuer)
+		cl.Latency = agg
 		clients = append(clients, cl)
 		cpus = append(cpus, cl.CPU())
 	}
@@ -215,24 +260,24 @@ func SimPIMQueue(o SimOpts, r QueueRegime) float64 {
 			cl.Start()
 		}
 	}
-	_, ops := sim.Measure(e, start, sim.OpsOfCPUs(cpus), o.Warmup, o.Measure)
-	return ops
+	completed, ops := sim.Measure(e, start, sim.OpsOfCPUs(cpus), o.Warmup, o.Measure)
+	return RunResult{Completed: completed, Ops: ops, Latency: agg}
 }
 
 // SimQueueFAA measures the simulated F&A queue baseline (per side:
 // pass the number of threads on one side).
-func SimQueueFAA(o SimOpts, p int, chargeMemory bool) float64 {
+func SimQueueFAA(o SimOpts, p int, chargeMemory bool) RunResult {
 	e := sim.NewEngine(sim.ConfigFromParams(o.Params))
 	s := pimqueue.NewSimFAAQueue(e, p, chargeMemory)
-	_, ops := sim.Measure(e, func() {}, s.Ops(), o.Warmup, o.Measure)
-	return ops
+	completed, ops := sim.Measure(e, func() {}, s.Ops(), o.Warmup, o.Measure)
+	return RunResult{Completed: completed, Ops: ops}
 }
 
 // SimQueueFC measures the simulated flat-combining queue baseline
-// (both sides; divide by 2 for per-side numbers).
-func SimQueueFC(o SimOpts, p int, chargeMemory bool) float64 {
+// (both sides; divide Ops by 2 for per-side numbers).
+func SimQueueFC(o SimOpts, p int, chargeMemory bool) RunResult {
 	e := sim.NewEngine(sim.ConfigFromParams(o.Params))
 	s := pimqueue.NewSimFCQueue(e, p, chargeMemory)
-	_, ops := sim.Measure(e, func() {}, s.Ops(), o.Warmup, o.Measure)
-	return ops
+	completed, ops := sim.Measure(e, func() {}, s.Ops(), o.Warmup, o.Measure)
+	return RunResult{Completed: completed, Ops: ops}
 }

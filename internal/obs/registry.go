@@ -1,0 +1,175 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+)
+
+// Registry is a named collection of metrics. Metric getters return the
+// existing metric or create it, so independent subsystems can share one
+// metric by name. A nil *Registry hands out nil metrics, which makes
+// disabling observability as simple as not creating a registry.
+//
+// Names are flat, slash-separated paths ("vault/003/reads",
+// "latency/MsgAdd"); the snapshot sorts them, so numeric path segments
+// should be zero-padded to keep related metrics adjacent.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	floats     map[string]*FloatGauge
+	hists      map[string]*Histogram
+	collectors []func(*Registry)
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		floats:   make(map[string]*FloatGauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it if needed (nil through
+// a nil registry).
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := r.counters[name]
+	if c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it if needed.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g := r.gauges[name]
+	if g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// FloatGauge returns the named float gauge, creating it if needed.
+func (r *Registry) FloatGauge(name string) *FloatGauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g := r.floats[name]
+	if g == nil {
+		g = &FloatGauge{}
+		r.floats[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it if needed.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := r.hists[name]
+	if h == nil {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// AddCollector registers fn to run at the start of every Snapshot.
+// Collectors export state that is cheaper to read once at snapshot time
+// than to track per event (vault counters, partition sizes, …); they
+// run in registration order, which keeps snapshots deterministic.
+func (r *Registry) AddCollector(fn func(*Registry)) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.collectors = append(r.collectors, fn)
+	r.mu.Unlock()
+}
+
+// HistogramSnapshot is the exported summary of one histogram.
+type HistogramSnapshot struct {
+	Count uint64  `json:"count"`
+	Mean  float64 `json:"mean"`
+	Max   int64   `json:"max"`
+	P50   int64   `json:"p50"`
+	P95   int64   `json:"p95"`
+	P99   int64   `json:"p99"`
+}
+
+// Snapshot is a point-in-time copy of every metric. encoding/json
+// serializes map keys in sorted order, so the document is stable for a
+// given set of metric values.
+type Snapshot struct {
+	Counters   map[string]uint64            `json:"counters"`
+	Gauges     map[string]int64             `json:"gauges"`
+	Floats     map[string]float64           `json:"floats"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+}
+
+// Snapshot runs the collectors and copies every metric's current value
+// (nil registry yields an empty snapshot).
+func (r *Registry) Snapshot() *Snapshot {
+	s := &Snapshot{
+		Counters:   map[string]uint64{},
+		Gauges:     map[string]int64{},
+		Floats:     map[string]float64{},
+		Histograms: map[string]HistogramSnapshot{},
+	}
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	collectors := make([]func(*Registry), len(r.collectors))
+	copy(collectors, r.collectors)
+	r.mu.Unlock()
+	for _, fn := range collectors {
+		fn(r)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for name, c := range r.counters {
+		s.Counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = g.Value()
+	}
+	for name, g := range r.floats {
+		s.Floats[name] = g.Value()
+	}
+	for name, h := range r.hists {
+		p50, p95, p99 := h.Percentiles()
+		s.Histograms[name] = HistogramSnapshot{
+			Count: h.N(), Mean: h.Mean(), Max: h.Max(),
+			P50: p50, P95: p95, P99: p99,
+		}
+	}
+	return s
+}
+
+// WriteJSON writes the snapshot as indented JSON.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}

@@ -1,0 +1,180 @@
+package sim
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// ChromeTracer emits Chrome trace-event JSON (the format chrome://
+// tracing and Perfetto load): every served request becomes a complete
+// ("X") slice on its core's track, and every message transfer becomes
+// an async ("b"/"e") span from send to delivery, so the UI shows
+// per-core timelines with message round-trips between them.
+//
+// Virtual time is rendered in microseconds (the trace format's unit)
+// with picosecond precision. The tracer buffers nothing: events stream
+// to W as they fire. Call Close to terminate the JSON array; the
+// output is a single JSON array of event objects.
+type ChromeTracer struct {
+	w   io.Writer
+	eng *Engine // for kind and core names; may be nil
+	err error
+
+	n     int                     // events written
+	named map[CoreID]bool         // tids with a thread_name metadata event
+	flows map[channelKey][]uint64 // pending flow ids, FIFO per channel
+	next  uint64                  // next flow id
+}
+
+// NewChromeTracer returns a tracer streaming trace events to w. eng,
+// when non-nil, supplies symbolic kind names (Engine.SetKindNamer) and
+// core kinds for track naming.
+func NewChromeTracer(w io.Writer, eng *Engine) *ChromeTracer {
+	return &ChromeTracer{w: w, eng: eng, named: make(map[CoreID]bool), flows: make(map[channelKey][]uint64)}
+}
+
+// chromeEvent is one trace event. Fields follow the Chrome trace-event
+// format; Ts and Dur are microseconds.
+type chromeEvent struct {
+	Name string                 `json:"name"`
+	Cat  string                 `json:"cat,omitempty"`
+	Ph   string                 `json:"ph"`
+	Ts   float64                `json:"ts"`
+	Dur  *float64               `json:"dur,omitempty"`
+	Pid  int                    `json:"pid"`
+	Tid  int                    `json:"tid"`
+	ID   string                 `json:"id,omitempty"`
+	Args map[string]interface{} `json:"args,omitempty"`
+}
+
+// us converts virtual time to trace microseconds.
+func us(t Time) float64 { return float64(t) / 1e6 }
+
+func (t *ChromeTracer) kind(k int) string {
+	if t.eng != nil {
+		return t.eng.KindName(k)
+	}
+	return fmt.Sprintf("kind_%02d", k)
+}
+
+// emit writes one event, managing the enclosing JSON array.
+func (t *ChromeTracer) emit(ev chromeEvent) {
+	if t.err != nil {
+		return
+	}
+	b, err := json.Marshal(ev)
+	if err != nil {
+		t.err = err
+		return
+	}
+	sep := ",\n"
+	if t.n == 0 {
+		sep = "[\n"
+	}
+	if _, err := io.WriteString(t.w, sep); err != nil {
+		t.err = err
+		return
+	}
+	if _, err := t.w.Write(b); err != nil {
+		t.err = err
+		return
+	}
+	t.n++
+}
+
+// nameThread emits a one-time thread_name metadata event for id.
+func (t *ChromeTracer) nameThread(id CoreID) {
+	if t.named[id] {
+		return
+	}
+	t.named[id] = true
+	name := fmt.Sprintf("core %d", id)
+	if t.eng != nil {
+		switch t.eng.endpoints[id].(type) {
+		case *PIMCore:
+			name = fmt.Sprintf("pim core %d", id)
+		case *CPU:
+			name = fmt.Sprintf("cpu %d", id)
+		}
+	}
+	t.emit(chromeEvent{Name: "thread_name", Ph: "M", Pid: 1, Tid: int(id),
+		Args: map[string]interface{}{"name": name}})
+}
+
+// MessageSent implements Tracer: opens an async span on the sender's
+// track. Per-channel FIFO delivery lets MessageDelivered pair spans by
+// matching ids in order.
+func (t *ChromeTracer) MessageSent(at Time, m Message) {
+	t.nameThread(m.From)
+	t.next++
+	key := channelKey{m.From, m.To}
+	t.flows[key] = append(t.flows[key], t.next)
+	t.emit(chromeEvent{Name: t.kind(m.Kind), Cat: "msg", Ph: "b", Ts: us(at),
+		Pid: 1, Tid: int(m.From), ID: fmt.Sprintf("%#x", t.next),
+		Args: map[string]interface{}{"key": m.Key, "to": int(m.To)}})
+}
+
+// MessageDelivered implements Tracer: closes the channel's oldest open
+// async span.
+func (t *ChromeTracer) MessageDelivered(at Time, m Message) {
+	t.nameThread(m.To)
+	key := channelKey{m.From, m.To}
+	ids := t.flows[key]
+	if len(ids) == 0 {
+		return // delivery without a traced send (tracer installed mid-run)
+	}
+	id := ids[0]
+	t.flows[key] = ids[1:]
+	t.emit(chromeEvent{Name: t.kind(m.Kind), Cat: "msg", Ph: "e", Ts: us(at),
+		Pid: 1, Tid: int(m.From), ID: fmt.Sprintf("%#x", id)})
+}
+
+// HandlerDone implements Tracer: draws the handler's execution as a
+// complete slice ending at the core's local clock.
+func (t *ChromeTracer) HandlerDone(at Time, core CoreID, m Message, busy Time) {
+	t.nameThread(core)
+	dur := us(busy)
+	t.emit(chromeEvent{Name: t.kind(m.Kind), Cat: "handler", Ph: "X",
+		Ts: us(at - busy), Dur: &dur, Pid: 1, Tid: int(core),
+		Args: map[string]interface{}{"key": m.Key}})
+}
+
+// Close terminates the JSON array and reports any write error. The
+// tracer is unusable afterwards.
+func (t *ChromeTracer) Close() error {
+	if t.err != nil {
+		return t.err
+	}
+	open := "[\n"
+	if t.n > 0 {
+		open = ""
+	}
+	_, err := io.WriteString(t.w, open+"\n]\n")
+	return err
+}
+
+// MultiTracer fans simulator events out to several tracers, e.g. a
+// text trace and a Chrome trace in the same run.
+type MultiTracer []Tracer
+
+// MessageSent implements Tracer.
+func (ts MultiTracer) MessageSent(at Time, m Message) {
+	for _, t := range ts {
+		t.MessageSent(at, m)
+	}
+}
+
+// MessageDelivered implements Tracer.
+func (ts MultiTracer) MessageDelivered(at Time, m Message) {
+	for _, t := range ts {
+		t.MessageDelivered(at, m)
+	}
+}
+
+// HandlerDone implements Tracer.
+func (ts MultiTracer) HandlerDone(at Time, core CoreID, m Message, busy Time) {
+	for _, t := range ts {
+		t.HandlerDone(at, core, m, busy)
+	}
+}

@@ -23,6 +23,7 @@ type Client struct {
 
 	seq       uint64
 	issuedAt  Time
+	reqKind   int // kind of the in-flight request, for per-kind latency
 	Completed uint64
 }
 
@@ -38,8 +39,15 @@ func NewClient(e *Engine, makeRequest func(c *CPU, seq uint64) Message) *Client 
 func (cl *Client) Start() {
 	cl.CPU.Exec(func(c *CPU) {
 		cl.issuedAt = c.Clock()
-		c.Send(cl.MakeRequest(c, cl.seq))
+		cl.send(c, cl.MakeRequest(c, cl.seq))
 	})
+}
+
+// send transmits the request, remembering its kind for the per-kind
+// latency metrics.
+func (cl *Client) send(c *CPU, m Message) {
+	cl.reqKind = m.Kind
+	c.Send(m)
 }
 
 func (cl *Client) onMessage(c *CPU, m Message) {
@@ -48,10 +56,14 @@ func (cl *Client) onMessage(c *CPU, m Message) {
 	}
 	cl.Completed++
 	c.CountOp()
-	cl.Latency.Add(int64(c.Clock() - cl.issuedAt))
+	d := c.Clock() - cl.issuedAt
+	cl.Latency.Add(int64(d))
+	if met := c.eng.met; met != nil {
+		met.opLatency(cl.reqKind, d)
+	}
 	cl.seq++
 	cl.issuedAt = c.Clock()
-	c.Send(cl.MakeRequest(c, cl.seq))
+	cl.send(c, cl.MakeRequest(c, cl.seq))
 }
 
 // Meter measures steady-state throughput of a set of clients: run the

@@ -67,6 +67,9 @@ func (c *CPU) coreID() CoreID { return c.id }
 
 func (c *CPU) deliver(m Message) {
 	c.inbox = append(c.inbox, m)
+	if c.eng.met != nil {
+		c.eng.met.queueDepth(c.id, len(c.inbox)-c.inboxHead)
+	}
 	c.maybeSchedule()
 }
 

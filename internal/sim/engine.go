@@ -48,6 +48,8 @@ type Engine struct {
 	endpoints map[CoreID]endpoint
 	nextID    CoreID
 	tracer    Tracer
+	met       *simMetrics
+	kindName  func(kind int) string
 
 	// channels tracks per (sender, receiver) FIFO delivery state so
 	// that the "messages from the same sender to the same receiver

@@ -85,6 +85,9 @@ func (e *Engine) send(sentAt Time, m Message) {
 	}
 	ch.lastArrival = arrival
 	ch.sent++
+	if e.met != nil {
+		e.met.msgSent(m.Kind)
+	}
 	if e.tracer != nil {
 		e.tracer.MessageSent(sentAt, m)
 	}

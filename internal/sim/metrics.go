@@ -1,0 +1,167 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+
+	"pimds/internal/obs"
+)
+
+// simMetrics is the engine's recording state when a metrics registry is
+// installed. All instrumentation is observational: nothing here touches
+// virtual time, so an engine with metrics enabled produces bit-identical
+// simulation results to one without (see TestMetricsDoNotPerturb).
+//
+// Hot-path events (message sends, queue depths, request latencies)
+// record as they happen; cheap-to-read aggregate state (vault counters,
+// core busy time, channel totals) is exported by a snapshot-time
+// collector instead, so the simulation loop pays nothing for it.
+type simMetrics struct {
+	eng      *Engine
+	reg      *obs.Registry
+	sent     map[int]*obs.Counter   // messages sent, per protocol kind
+	lat      map[int]*obs.Histogram // inject→reply latency, per request kind
+	queueMax map[CoreID]*obs.Gauge  // deepest inbox seen, per core
+}
+
+// SetMetrics installs a metrics registry (nil disables metrics). The
+// engine registers a snapshot-time collector exporting per-core busy
+// time, per-vault access counts and utilization, and per-channel
+// message totals; hot-path events record into reg as they happen.
+// Install the registry before building data structures on the engine:
+// structures capture the registry at construction time.
+func (e *Engine) SetMetrics(reg *obs.Registry) {
+	if reg == nil {
+		e.met = nil
+		return
+	}
+	e.met = &simMetrics{
+		eng:      e,
+		reg:      reg,
+		sent:     make(map[int]*obs.Counter),
+		lat:      make(map[int]*obs.Histogram),
+		queueMax: make(map[CoreID]*obs.Gauge),
+	}
+	reg.AddCollector(e.collectMetrics)
+}
+
+// Metrics returns the installed registry, or nil when metrics are
+// disabled. Structures use it to create their own metrics; through a
+// nil registry every obs getter returns a nil (no-op) metric.
+func (e *Engine) Metrics() *obs.Registry {
+	if e.met == nil {
+		return nil
+	}
+	return e.met.reg
+}
+
+// SetKindNamer installs a protocol kind → symbolic name mapping used in
+// metric names and Chrome trace events (nil falls back to "kind_NN").
+func (e *Engine) SetKindNamer(fn func(kind int) string) { e.kindName = fn }
+
+// KindName renders a protocol kind tag using the installed namer.
+func (e *Engine) KindName(kind int) string {
+	if e.kindName != nil {
+		return e.kindName(kind)
+	}
+	return fmt.Sprintf("kind_%02d", kind)
+}
+
+// msgSent counts one sent message of the given kind.
+func (m *simMetrics) msgSent(kind int) {
+	c := m.sent[kind]
+	if c == nil {
+		c = m.reg.Counter("msg/sent/" + m.eng.KindName(kind))
+		m.sent[kind] = c
+	}
+	c.Inc()
+}
+
+// opLatency records one end-to-end request latency (inject→reply, in
+// picoseconds) for the given request kind.
+func (m *simMetrics) opLatency(kind int, d Time) {
+	h := m.lat[kind]
+	if h == nil {
+		h = m.reg.Histogram("latency/" + m.eng.KindName(kind))
+		m.lat[kind] = h
+	}
+	h.Observe(int64(d))
+}
+
+// RecordOpLatency records one end-to-end request latency (inject→reply)
+// under the given protocol kind. Structures whose clients run their own
+// retry loops (skip-list rejections, queue/stack rediscoveries) call
+// this on completion; no-op when metrics are disabled.
+func (e *Engine) RecordOpLatency(kind int, d Time) {
+	if e.met != nil {
+		e.met.opLatency(kind, d)
+	}
+}
+
+// queueDepth tracks the high watermark of a core's message inbox.
+func (m *simMetrics) queueDepth(id CoreID, depth int) {
+	g := m.queueMax[id]
+	if g == nil {
+		g = m.reg.Gauge(fmt.Sprintf("core/%03d/queue_max", id))
+		m.queueMax[id] = g
+	}
+	g.SetMax(int64(depth))
+}
+
+// collectMetrics exports engine, core, vault and channel state into the
+// registry; it runs at every Registry.Snapshot.
+func (e *Engine) collectMetrics(r *obs.Registry) {
+	r.Gauge("engine/now_ps").Set(int64(e.now))
+	r.Gauge("engine/events_processed").Set(int64(e.processed))
+
+	ids := make([]CoreID, 0, len(e.endpoints))
+	for id := range e.endpoints {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	elapsed := float64(e.now)
+	for _, id := range ids {
+		switch c := e.endpoints[id].(type) {
+		case *PIMCore:
+			pre := fmt.Sprintf("core/%03d/", id)
+			r.Gauge(pre + "busy_ps").Set(int64(c.Stats.Busy))
+			r.Gauge(pre + "ops").Set(int64(c.Stats.Ops))
+			r.Gauge(pre + "messages").Set(int64(c.Stats.Messages))
+			r.Gauge(pre + "queue_len").Set(int64(c.QueueLen()))
+			v := c.Vault()
+			vp := fmt.Sprintf("vault/%03d/", v.ID())
+			r.Gauge(vp + "reads").Set(int64(v.Reads))
+			r.Gauge(vp + "writes").Set(int64(v.Writes))
+			r.Gauge(vp + "allocs").Set(int64(v.Allocs))
+			r.Gauge(vp + "frees").Set(int64(v.Frees))
+			r.Gauge(vp + "live_nodes").Set(v.LiveNodes)
+			r.Gauge(vp + "busy_ps").Set(int64(c.Stats.Busy))
+			if elapsed > 0 {
+				r.FloatGauge(vp + "utilization").Set(float64(c.Stats.Busy) / elapsed)
+			}
+		case *CPU:
+			pre := fmt.Sprintf("cpu/%03d/", id)
+			r.Gauge(pre + "busy_ps").Set(int64(c.Stats.Busy))
+			r.Gauge(pre + "ops").Set(int64(c.Stats.Ops))
+			r.Gauge(pre + "messages").Set(int64(c.Stats.Messages))
+			if elapsed > 0 {
+				r.FloatGauge(pre + "utilization").Set(float64(c.Stats.Busy) / elapsed)
+			}
+		}
+	}
+
+	keys := make([]channelKey, 0, len(e.channels))
+	for k := range e.channels {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].from != keys[j].from {
+			return keys[i].from < keys[j].from
+		}
+		return keys[i].to < keys[j].to
+	})
+	for _, k := range keys {
+		r.Gauge(fmt.Sprintf("channel/%03d-%03d/sent", k.from, k.to)).
+			Set(int64(e.channels[k].sent))
+	}
+}

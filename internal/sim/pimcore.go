@@ -80,6 +80,9 @@ func (c *PIMCore) coreID() CoreID { return c.id }
 
 func (c *PIMCore) deliver(m Message) {
 	c.inbox = append(c.inbox, m)
+	if c.eng.met != nil {
+		c.eng.met.queueDepth(c.id, len(c.inbox)-c.inboxHead)
+	}
 	c.maybeSchedule()
 }
 

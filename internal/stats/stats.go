@@ -160,8 +160,62 @@ func (h *Histogram) Quantile(q float64) int64 {
 	return 0
 }
 
-// Percentiles returns the 50th, 90th, 99th percentiles — the trio the
+// Percentiles returns the 50th, 95th, 99th percentiles — the trio the
 // latency tables report.
-func (h *Histogram) Percentiles() (p50, p90, p99 int64) {
-	return h.Quantile(0.50), h.Quantile(0.90), h.Quantile(0.99)
+func (h *Histogram) Percentiles() (p50, p95, p99 int64) {
+	return h.Quantile(0.50), h.Quantile(0.95), h.Quantile(0.99)
+}
+
+// Merge folds o's observations into h; o is unchanged. Merging is
+// exact when both histograms share the same sub-bucket resolution;
+// with differing resolutions each of o's sub-buckets is re-binned at
+// its lower bound, which preserves counts and quantile lower-bound
+// semantics but loses o's finer in-octave placement. A nil or empty o
+// is a no-op.
+func (h *Histogram) Merge(o *Histogram) {
+	if o == nil || o.total == 0 {
+		return
+	}
+	for b, obs := range o.buckets {
+		if o.subN == h.subN {
+			bs := h.buckets[b]
+			if bs == nil {
+				bs = make([]uint64, h.subN)
+				h.buckets[b] = bs
+			}
+			for s, c := range obs {
+				bs[s] += c
+			}
+			continue
+		}
+		low := int64(1) << b
+		for s, c := range obs {
+			if c == 0 {
+				continue
+			}
+			v := low + int64(s)*low/int64(o.subN)
+			for i := uint64(0); i < c; i++ {
+				h.addBinned(v)
+			}
+		}
+	}
+	h.total += o.total
+	h.sum += o.sum
+}
+
+// addBinned records v in the bucket structure without touching the
+// total/sum accumulators (Merge updates those from o's exact values).
+func (h *Histogram) addBinned(v int64) {
+	b := 63 - leadingZeros(uint64(v))
+	bs := h.buckets[b]
+	if bs == nil {
+		bs = make([]uint64, h.subN)
+		h.buckets[b] = bs
+	}
+	low := int64(1) << b
+	idx := int((v - low) * int64(h.subN) / low)
+	if idx >= h.subN {
+		idx = h.subN - 1
+	}
+	bs[idx]++
 }

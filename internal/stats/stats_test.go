@@ -75,12 +75,115 @@ func TestHistogramQuantiles(t *testing.T) {
 	if got, want := h.Mean(), 500.5; math.Abs(got-want) > 1e-9 {
 		t.Errorf("mean = %v, want %v", got, want)
 	}
-	p50, p90, p99 := h.Percentiles()
+	p50, p95, p99 := h.Percentiles()
 	within := func(got, want int64, relTol float64) bool {
 		return math.Abs(float64(got-want)) <= relTol*float64(want)
 	}
-	if !within(p50, 500, 0.10) || !within(p90, 900, 0.10) || !within(p99, 990, 0.10) {
-		t.Errorf("p50/p90/p99 = %d/%d/%d, want ≈ 500/900/990", p50, p90, p99)
+	if !within(p50, 500, 0.10) || !within(p95, 950, 0.10) || !within(p99, 990, 0.10) {
+		t.Errorf("p50/p95/p99 = %d/%d/%d, want ≈ 500/950/990", p50, p95, p99)
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram(16)
+	if h.N() != 0 || h.Mean() != 0 {
+		t.Error("empty histogram should have zero count and mean")
+	}
+	p50, p95, p99 := h.Percentiles()
+	if p50 != 0 || p95 != 0 || p99 != 0 {
+		t.Errorf("empty percentiles = %d/%d/%d, want 0/0/0", p50, p95, p99)
+	}
+}
+
+func TestHistogramSingleObservation(t *testing.T) {
+	h := NewHistogram(16)
+	h.Add(777)
+	if h.N() != 1 || h.Mean() != 777 {
+		t.Errorf("n/mean = %d/%v", h.N(), h.Mean())
+	}
+	// Every quantile of a single observation lands in its sub-bucket:
+	// the reported value is the sub-bucket's lower bound, within one
+	// sub-bucket width below the observation.
+	for _, q := range []float64{0, 0.5, 0.95, 0.99, 1} {
+		got := h.Quantile(q)
+		if got > 777 || float64(got) < 777*(1-1.0/16) {
+			t.Errorf("Quantile(%v) = %d, want within one sub-bucket of 777", q, got)
+		}
+	}
+}
+
+func TestHistogramBucketBoundaries(t *testing.T) {
+	h := NewHistogram(16)
+	// Exact powers of two are octave lower bounds: the quantile of a
+	// point mass there must be exact, not off by one octave.
+	for _, v := range []int64{1, 2, 4, 1024, 1 << 32} {
+		h := NewHistogram(16)
+		for i := 0; i < 10; i++ {
+			h.Add(v)
+		}
+		if got := h.Quantile(0.5); got != v {
+			t.Errorf("point mass at %d: q50 = %d", v, got)
+		}
+	}
+	// The last value before an octave boundary stays in its octave.
+	h.Add(1023)
+	if got := h.Quantile(0.5); got < 512 || got > 1023 {
+		t.Errorf("1023 binned outside its octave: q50 = %d", got)
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a, b := NewHistogram(16), NewHistogram(16)
+	ref := NewHistogram(16)
+	for v := int64(1); v <= 500; v++ {
+		a.Add(v)
+		ref.Add(v)
+	}
+	for v := int64(501); v <= 1000; v++ {
+		b.Add(v)
+		ref.Add(v)
+	}
+	a.Merge(b)
+	if a.N() != ref.N() {
+		t.Fatalf("merged n = %d, want %d", a.N(), ref.N())
+	}
+	if math.Abs(a.Mean()-ref.Mean()) > 1e-9 {
+		t.Errorf("merged mean = %v, want %v", a.Mean(), ref.Mean())
+	}
+	// Same resolution ⇒ merge is exact: identical quantiles.
+	for _, q := range []float64{0.1, 0.5, 0.95, 0.99} {
+		if a.Quantile(q) != ref.Quantile(q) {
+			t.Errorf("Quantile(%v): merged %d != direct %d", q, a.Quantile(q), ref.Quantile(q))
+		}
+	}
+	// Merging nil or empty histograms is a no-op.
+	n := a.N()
+	a.Merge(nil)
+	a.Merge(NewHistogram(16))
+	if a.N() != n {
+		t.Errorf("no-op merges changed n: %d -> %d", n, a.N())
+	}
+}
+
+func TestHistogramMergeMixedResolution(t *testing.T) {
+	a, b := NewHistogram(16), NewHistogram(4)
+	for v := int64(1); v <= 100; v++ {
+		b.Add(v * 3)
+	}
+	a.Merge(b)
+	if a.N() != 100 {
+		t.Fatalf("merged n = %d, want 100", a.N())
+	}
+	// Mean comes from exact sums even across resolutions.
+	if math.Abs(a.Mean()-b.Mean()) > 1e-9 {
+		t.Errorf("merged mean = %v, want %v", a.Mean(), b.Mean())
+	}
+	// Quantiles degrade at most to the coarser resolution's lower bound.
+	for _, q := range []float64{0.5, 0.95} {
+		got, want := a.Quantile(q), b.Quantile(q)
+		if got > want || float64(got) < float64(want)*(1-1.0/4) {
+			t.Errorf("Quantile(%v) = %d, want within a coarse sub-bucket of %d", q, got, want)
+		}
 	}
 }
 
