@@ -1,0 +1,287 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"pimds/internal/analysis"
+)
+
+// AtomicHygiene guards the host-side concurrent structures
+// (pimds/internal/cds/...), whose measured throughput is half of every
+// figure in the paper: a data race there silently corrupts the
+// baseline numbers the PIM results are compared against.
+//
+// Two checks, everywhere the analyzer runs:
+//
+//  1. Mixed access: a variable or field that is ever passed to a
+//     sync/atomic function (&x with atomic.LoadUint64, atomic.AddInt64,
+//     atomic.CompareAndSwapPointer, ...) must never also be read or
+//     written with a plain load/store — the plain access races with
+//     the atomic one. (The typed atomics — atomic.Int64, Pointer[T],
+//     ... — make this impossible by construction and are what the tree
+//     uses; this check keeps the old-style API honest if it ever
+//     appears.)
+//
+//  2. Lock copies: values whose type transitively contains a sync
+//     primitive (Mutex, RWMutex, WaitGroup, Cond, Once, Map, Pool) or
+//     a typed atomic must not be copied — as a by-value parameter or
+//     result, by assignment from another variable or dereference, or
+//     as a by-value range element. A copied lock is a new, unrelated
+//     lock.
+var AtomicHygiene = &analysis.Analyzer{
+	Name: "atomichygiene",
+	Doc:  "flags fields accessed both atomically and plainly, and sync primitives copied by value",
+	Run:  runAtomicHygiene,
+}
+
+func runAtomicHygiene(pass *analysis.Pass) {
+	checkMixedAccess(pass)
+	checkLockCopies(pass)
+}
+
+// --- check 1: mixed atomic/plain access -----------------------------
+
+func checkMixedAccess(pass *analysis.Pass) {
+	info := pass.TypesInfo
+
+	// First pass: every object (field or variable) whose address is
+	// taken as the first pointer argument of a sync/atomic function,
+	// plus the set of &x nodes involved so they aren't double-counted
+	// as plain accesses.
+	atomicObjs := make(map[types.Object]token.Pos) // object -> one atomic-use position
+	atomicArgs := make(map[ast.Expr]bool)
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			f := pkgFunc(info, call)
+			if f == nil || f.Pkg() == nil || f.Pkg().Path() != "sync/atomic" ||
+				f.Type().(*types.Signature).Recv() != nil {
+				return true
+			}
+			for _, arg := range call.Args {
+				u, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !ok || u.Op != token.AND {
+					continue
+				}
+				if obj := addressedObject(info, u.X); obj != nil {
+					if _, seen := atomicObjs[obj]; !seen {
+						atomicObjs[obj] = u.Pos()
+					}
+					atomicArgs[u.X] = true
+				}
+			}
+			return true
+		})
+	}
+	if len(atomicObjs) == 0 {
+		return
+	}
+
+	// Second pass: plain uses of the same objects.
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			var obj types.Object
+			var pos token.Pos
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				if atomicArgs[ast.Expr(n)] {
+					return false
+				}
+				if s, ok := info.Selections[n]; ok && s.Kind() == types.FieldVal {
+					obj, pos = s.Obj(), n.Sel.Pos()
+				}
+			case *ast.Ident:
+				obj, pos = info.Uses[n], n.Pos()
+				if v, ok := obj.(*types.Var); !ok || v.IsField() {
+					return true
+				}
+			default:
+				return true
+			}
+			if obj == nil {
+				return true
+			}
+			if _, isAtomic := atomicObjs[obj]; isAtomic && !atomicArgs[n.(ast.Expr)] {
+				pass.Reportf(pos,
+					"%s is accessed with sync/atomic elsewhere but read/written plainly here; mixing atomic and plain access races", obj.Name())
+				return false
+			}
+			return true
+		})
+	}
+}
+
+// addressedObject resolves &x to the field or variable object of x.
+func addressedObject(info *types.Info, e ast.Expr) types.Object {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if v, ok := info.Uses[x].(*types.Var); ok {
+			return v
+		}
+	case *ast.SelectorExpr:
+		if s, ok := info.Selections[x]; ok && s.Kind() == types.FieldVal {
+			return s.Obj()
+		}
+	}
+	return nil
+}
+
+// --- check 2: lock copies -------------------------------------------
+
+// syncLockTypes are the by-value-uncopyable types in sync and
+// sync/atomic.
+var syncLockTypes = map[string]bool{
+	"Mutex": true, "RWMutex": true, "WaitGroup": true, "Cond": true,
+	"Once": true, "Map": true, "Pool": true,
+	// sync/atomic typed values.
+	"Bool": true, "Int32": true, "Int64": true, "Uint32": true,
+	"Uint64": true, "Uintptr": true, "Pointer": true, "Value": true,
+}
+
+// containsLock reports whether a value of type t holds a sync
+// primitive directly (not behind a pointer, slice, map or channel).
+func containsLock(t types.Type) bool {
+	return containsLock1(t, make(map[types.Type]bool))
+}
+
+func containsLock1(t types.Type, seen map[types.Type]bool) bool {
+	if seen[t] {
+		return false
+	}
+	seen[t] = true
+	if n := namedTypeDirect(t); n != nil {
+		if pkg := n.Obj().Pkg(); pkg != nil &&
+			(pkg.Path() == "sync" || pkg.Path() == "sync/atomic") &&
+			syncLockTypes[n.Obj().Name()] {
+			return true
+		}
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if containsLock1(u.Field(i).Type(), seen) {
+				return true
+			}
+		}
+	case *types.Array:
+		return containsLock1(u.Elem(), seen)
+	}
+	return false
+}
+
+// namedTypeDirect returns t as a named type without unwrapping
+// pointers: a *sync.Mutex is copyable, a sync.Mutex is not.
+func namedTypeDirect(t types.Type) *types.Named {
+	if n, ok := t.(*types.Named); ok {
+		return n
+	}
+	return nil
+}
+
+func checkLockCopies(pass *analysis.Pass) {
+	info := pass.TypesInfo
+	report := func(pos token.Pos, t types.Type, how string) {
+		pass.Reportf(pos, "%s copies a value containing a sync primitive (%s); pass a pointer instead", how, t.String())
+	}
+
+	for _, fn := range allFuncs(pass.Files) {
+		// By-value parameters and results.
+		for _, list := range []*ast.FieldList{fn.typ.Params, fn.typ.Results} {
+			if list == nil {
+				continue
+			}
+			for _, field := range list.List {
+				t := info.Types[field.Type].Type
+				if t != nil && containsLock(t) {
+					report(field.Type.Pos(), t, "parameter or result")
+				}
+			}
+		}
+	}
+
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				for i, rhs := range n.Rhs {
+					if len(n.Rhs) != len(n.Lhs) {
+						break
+					}
+					if id, ok := n.Lhs[i].(*ast.Ident); ok && id.Name == "_" {
+						continue // x used, nothing copied at runtime
+					}
+					if copiesLockValue(info, rhs) {
+						report(n.Lhs[i].Pos(), info.Types[rhs].Type, "assignment")
+					}
+				}
+			case *ast.RangeStmt:
+				if n.Value != nil {
+					if t := exprType(info, n.Value); t != nil && containsLock(t) {
+						report(n.Value.Pos(), t, "range element")
+					}
+				}
+			case *ast.CallExpr:
+				// Passing a lock-containing value (not pointer) as an
+				// argument copies it. Skip conversions and builtins.
+				if pkgFunc(info, call(n)) == nil && !isCallToFuncValue(info, n) {
+					return true
+				}
+				for _, arg := range n.Args {
+					if copiesLockValue(info, arg) {
+						report(arg.Pos(), info.Types[arg].Type, "argument")
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+func call(n *ast.CallExpr) *ast.CallExpr { return n }
+
+// exprType resolves an expression's type, falling back to Defs for
+// identifiers declared by the expression itself (range variables).
+func exprType(info *types.Info, e ast.Expr) types.Type {
+	if t := info.Types[e].Type; t != nil {
+		return t
+	}
+	if id, ok := e.(*ast.Ident); ok {
+		if obj := info.Defs[id]; obj != nil {
+			return obj.Type()
+		}
+	}
+	return nil
+}
+
+// isCallToFuncValue reports whether the call target is an expression
+// of function type (closure variable, field, etc.) rather than a
+// conversion.
+func isCallToFuncValue(info *types.Info, c *ast.CallExpr) bool {
+	tv, ok := info.Types[c.Fun]
+	if !ok {
+		return false
+	}
+	_, isSig := tv.Type.Underlying().(*types.Signature)
+	return isSig && !tv.IsType()
+}
+
+// copiesLockValue reports whether evaluating e produces a by-value
+// copy of lock-containing state: a variable, field selection,
+// dereference or index of such a type. Composite literals and calls
+// construct fresh values and are fine.
+func copiesLockValue(info *types.Info, e ast.Expr) bool {
+	t := info.Types[e].Type
+	if t == nil || !containsLock(t) {
+		return false
+	}
+	switch ast.Unparen(e).(type) {
+	case *ast.Ident, *ast.SelectorExpr, *ast.StarExpr, *ast.IndexExpr:
+		return true
+	}
+	return false
+}

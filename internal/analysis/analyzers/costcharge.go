@@ -1,0 +1,191 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"pimds/internal/analysis"
+)
+
+// CostCharge guards the cost-model accounting of the PIM algorithms
+// (pimds/internal/core/...): vault-resident state — the sequential
+// structures from pimds/internal/cds that partitions keep behind their
+// PIM cores — may be touched from handler code only alongside charges
+// to the simulator's latency model.
+//
+// "Handler code" is any function with a *sim.PIMCore or *sim.CPU
+// parameter: the message handlers themselves plus the helpers they
+// thread their core through. A handler-context function that calls
+// methods on (or reads fields of) a cds-declared type must charge the
+// core at least once — directly via the charged accessor API (Read,
+// Write, ReadN, RemoteRead/Write, MemRead/Write/ReadN, LLCRead/Write,
+// Atomic, Compute, Local, Send, TakeQueued) or by calling a
+// package-local function that transitively does. Setup paths (New,
+// Preload, post-run accessors) carry no core and are exempt: the
+// protocol defines them as cost-free.
+//
+// The check is deliberately coarse — it proves "no free rides", not
+// "the charge count is exactly right" (the simulator's runtime
+// accounting and the model-vs-sim comparison tests pin the amounts).
+// What it makes impossible is an algorithm quietly serving requests
+// out of vault state without paying the latency model at all.
+var CostCharge = &analysis.Analyzer{
+	Name: "costcharge",
+	Doc:  "flags handler code in internal/core that touches vault-resident cds structures without charging the latency model",
+	Run:  runCostCharge,
+}
+
+// chargeMethods is the charged accessor API on *sim.PIMCore and
+// *sim.CPU: every method that advances the calling core's local clock.
+var chargeMethods = map[string]bool{
+	// PIM core.
+	"Read": true, "Write": true, "ReadN": true,
+	"RemoteRead": true, "RemoteWrite": true,
+	// CPU.
+	"MemRead": true, "MemWrite": true, "MemReadN": true,
+	"LLCRead": true, "LLCWrite": true, "Atomic": true,
+	// Both.
+	"Local": true, "Compute": true, "Send": true, "TakeQueued": true,
+}
+
+func isCoreParam(t types.Type) bool {
+	return isSimType(t, "PIMCore") || isSimType(t, "CPU")
+}
+
+func runCostCharge(pass *analysis.Pass) {
+	if !underPath(pass.Path, corePath) {
+		return
+	}
+	info := pass.TypesInfo
+
+	// Fixpoint over package-level functions: which ones charge a core,
+	// directly or through package-local calls?
+	type fnInfo struct {
+		node    funcNode
+		direct  bool
+		callees []*types.Func
+	}
+	fns := make(map[*types.Func]*fnInfo)
+	var nodes []funcNode
+	for _, fn := range allFuncs(pass.Files) {
+		nodes = append(nodes, fn)
+		if fn.decl == nil {
+			continue
+		}
+		obj, ok := info.Defs[fn.decl.Name].(*types.Func)
+		if !ok {
+			continue
+		}
+		fi := &fnInfo{node: fn}
+		scanCharges(info, fn.body, &fi.direct, &fi.callees)
+		fns[obj] = fi
+	}
+	charges := make(map[*types.Func]bool)
+	for changed := true; changed; {
+		changed = false
+		for obj, fi := range fns {
+			if charges[obj] {
+				continue
+			}
+			ok := fi.direct
+			for _, callee := range fi.callees {
+				if charges[callee] {
+					ok = true
+					break
+				}
+			}
+			if ok {
+				charges[obj] = true
+				changed = true
+			}
+		}
+	}
+
+	for _, fn := range nodes {
+		if paramOfType(info, fn.typ, isCoreParam) == nil {
+			continue // not handler code: setup/accessor path, cost-free by protocol
+		}
+		var direct bool
+		var callees []*types.Func
+		scanCharges(info, fn.body, &direct, &callees)
+		charging := direct
+		for _, callee := range callees {
+			if charges[callee] {
+				charging = true
+				break
+			}
+		}
+		if charging {
+			continue
+		}
+		for _, touch := range cdsTouches(info, fn.body) {
+			pass.Reportf(touch.pos,
+				"%s in handler code (%s) without charging the cost model; vault-resident accesses must pay Read/Write/ReadN (or a helper that does)",
+				touch.what, fn.name())
+		}
+	}
+}
+
+// scanCharges records whether body directly calls a charge method on a
+// *sim.PIMCore / *sim.CPU, and which package-local functions it calls.
+func scanCharges(info *types.Info, body ast.Node, direct *bool, callees *[]*types.Func) {
+	inspectShallow(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			if s, ok := info.Selections[sel]; ok {
+				if f, ok := s.Obj().(*types.Func); ok &&
+					chargeMethods[f.Name()] && isCoreParam(s.Recv()) {
+					*direct = true
+					return true
+				}
+			}
+		}
+		if f := pkgFunc(info, call); f != nil {
+			*callees = append(*callees, f)
+		}
+		return true
+	})
+}
+
+type touch struct {
+	pos  token.Pos
+	what string
+}
+
+// cdsTouches lists accesses to cds-declared state in body: method
+// calls on, and field reads/writes of, types declared under
+// pimds/internal/cds, reached through a pointer. The pointer
+// requirement separates vault-resident structures (always held by
+// pointer behind a partition) from by-value request descriptors like
+// seqlist.Op, which travel in messages as copies and are not memory.
+func cdsTouches(info *types.Info, body ast.Node) []touch {
+	var out []touch
+	inspectShallow(body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		s, ok := info.Selections[sel]
+		if !ok {
+			return true
+		}
+		if _, isPtr := s.Recv().(*types.Pointer); !isPtr {
+			return true
+		}
+		if !typeFromPkg(s.Recv(), cdsPath, true) {
+			return true
+		}
+		switch obj := s.Obj().(type) {
+		case *types.Func:
+			out = append(out, touch{sel.Sel.Pos(), "call to " + namedType(s.Recv()).Obj().Name() + "." + obj.Name()})
+		case *types.Var:
+			out = append(out, touch{sel.Sel.Pos(), "access to field " + namedType(s.Recv()).Obj().Name() + "." + obj.Name()})
+		}
+		return true
+	})
+	return out
+}

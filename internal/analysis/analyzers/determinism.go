@@ -1,0 +1,216 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+
+	"pimds/internal/analysis"
+)
+
+// Determinism guards the simulator's core guarantee: the same
+// configuration and seed produce the identical event trace. Anything
+// that injects wall-clock time, unseeded randomness, map iteration
+// order or goroutine scheduling into simulated state breaks it.
+//
+// Checks, everywhere the analyzer runs:
+//   - wall-clock reads: time.Now, time.Since, time.Until, time.Sleep,
+//     time.Tick, time.After, time.NewTicker, time.NewTimer;
+//   - the global math/rand generator (rand.Int, rand.Intn, rand.Seed,
+//     rand.Shuffle, ... — every top-level function except the
+//     constructors New, NewSource and NewZipf);
+//   - rand.New whose source is not an explicit rand.NewSource(seed)
+//     (an RNG whose seed is not visible at the call site cannot be
+//     reproduced from the run's configuration).
+//
+// Checks only inside simulator-scoped packages (pimds/internal/sim and
+// pimds/internal/core/...), where all state is simulated state:
+//   - go statements (the simulator is single-goroutine by design; a
+//     goroutine's interleaving is not replayable);
+//   - range loops over maps whose body writes state that outlives the
+//     function (receiver fields, captured variables, globals) or calls
+//     pointer-receiver methods on such state — map iteration order
+//     differs run to run, so such loops apply order-dependent
+//     mutations. Building function-local values (e.g. collecting keys
+//     to sort) is fine.
+var Determinism = &analysis.Analyzer{
+	Name: "determinism",
+	Doc:  "flags wall clocks, global/unseeded RNG, goroutines and map-order-dependent mutation in simulated code",
+	Run:  runDeterminism,
+}
+
+// wallClockFuncs are time-package functions that read or depend on the
+// wall clock.
+var wallClockFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"Tick": true, "After": true, "AfterFunc": true,
+	"NewTicker": true, "NewTimer": true,
+}
+
+// randConstructors are the math/rand functions that are fine to call:
+// they build explicitly-seeded generators rather than using the global
+// one.
+var randConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+}
+
+func runDeterminism(pass *analysis.Pass) {
+	info := pass.TypesInfo
+	simScoped := underPath(pass.Path, simPath) || underPath(pass.Path, corePath)
+
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkDeterminismCall(pass, n)
+			case *ast.GoStmt:
+				if simScoped {
+					pass.Reportf(n.Pos(),
+						"goroutine spawned in simulator-scoped code; the simulator is single-goroutine and goroutine interleavings are not replayable")
+				}
+			}
+			return true
+		})
+	}
+
+	if !simScoped {
+		return
+	}
+	for _, fn := range allFuncs(pass.Files) {
+		body := fn.body
+		inspectShallow(body, func(n ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := info.Types[rng.X].Type
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if site := mapRangeMutation(info, rng, fn); site != nil {
+				pass.Reportf(site.Pos(),
+					"map-range body mutates state that outlives %s; map iteration order is random, so this mutation order is not reproducible (iterate sorted keys instead)", fn.name())
+			}
+			return true
+		})
+	}
+}
+
+func checkDeterminismCall(pass *analysis.Pass, call *ast.CallExpr) {
+	f := pkgFunc(pass.TypesInfo, call)
+	if f == nil || f.Pkg() == nil {
+		return
+	}
+	switch f.Pkg().Path() {
+	case "time":
+		if wallClockFuncs[f.Name()] && f.Type().(*types.Signature).Recv() == nil {
+			pass.Reportf(call.Pos(),
+				"time.%s reads the wall clock; simulated time must come from the engine (sim.Time), and host-side timing needs an explicit //pimvet:allow", f.Name())
+		}
+	case "math/rand", "math/rand/v2":
+		if f.Type().(*types.Signature).Recv() != nil {
+			return // methods on *rand.Rand are fine: the source was seeded at construction
+		}
+		if !randConstructors[f.Name()] {
+			pass.Reportf(call.Pos(),
+				"global math/rand.%s is seeded from runtime state; use rand.New(rand.NewSource(seed)) with a configured seed", f.Name())
+			return
+		}
+		if f.Name() == "New" && !seededSourceArg(pass.TypesInfo, call) {
+			pass.Reportf(call.Pos(),
+				"rand.New with a source not built by rand.NewSource(seed) at the call site; the seed must be auditable where the generator is created")
+		}
+	}
+}
+
+// seededSourceArg reports whether the single argument of rand.New is a
+// direct rand.NewSource(...) call.
+func seededSourceArg(info *types.Info, call *ast.CallExpr) bool {
+	if len(call.Args) != 1 {
+		return false
+	}
+	inner, ok := ast.Unparen(call.Args[0]).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	f := pkgFunc(info, inner)
+	return f != nil && f.Pkg() != nil &&
+		(f.Pkg().Path() == "math/rand" || f.Pkg().Path() == "math/rand/v2") &&
+		(f.Name() == "NewSource" || f.Name() == "NewPCG" || f.Name() == "NewChaCha8")
+}
+
+// mapRangeMutation returns the first node in the range body that
+// mutates state declared outside the enclosing function, or nil.
+func mapRangeMutation(info *types.Info, rng *ast.RangeStmt, fn funcNode) ast.Node {
+	outer := func(e ast.Expr) bool {
+		id := rootIdent(e)
+		if id == nil {
+			return false
+		}
+		obj := info.Uses[id]
+		if obj == nil {
+			obj = info.Defs[id]
+		}
+		v, ok := obj.(*types.Var)
+		if !ok {
+			return false
+		}
+		// Anything not declared inside this function's body — the
+		// receiver, parameters, captured variables, package globals —
+		// is (or aliases) state observable after the loop, so
+		// order-dependent writes to it are flagged.
+		return !declaredWithin(v, fn.body)
+	}
+
+	var found ast.Node
+	inspectShallow(rng.Body, func(n ast.Node) bool {
+		if found != nil {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if outer(lhs) {
+					found = n
+					return false
+				}
+			}
+		case *ast.IncDecStmt:
+			if outer(n.X) {
+				found = n
+				return false
+			}
+		case *ast.CallExpr:
+			// A pointer-receiver method on outer state mutates (or may
+			// mutate) it in map order: m.parts[h(k)].table.Put(k, v).
+			if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok {
+				if s, ok := info.Selections[sel]; ok {
+					if f, ok := s.Obj().(*types.Func); ok && recvIsPointer(f) && outer(sel.X) {
+						found = n
+						return false
+					}
+				}
+			}
+			// &outer passed as an argument hands mutable access over.
+			for _, arg := range n.Args {
+				if u, ok := ast.Unparen(arg).(*ast.UnaryExpr); ok && u.Op.String() == "&" && outer(u.X) {
+					found = n
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return found
+}
+
+func recvIsPointer(f *types.Func) bool {
+	sig, ok := f.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	_, ok = sig.Recv().Type().(*types.Pointer)
+	return ok
+}

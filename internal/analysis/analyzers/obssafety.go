@@ -1,0 +1,87 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+
+	"pimds/internal/analysis"
+)
+
+// ObsSafety guards PR 1's contract: observability changes simulated
+// results by exactly zero. Metrics and traces flow out of the
+// simulation only — handler code may record (Counter.Add,
+// Histogram.Observe, Gauge.Set, ...) but must never read a metric
+// back, because a read makes simulated behaviour depend on whether and
+// how observability is configured (a nil registry hands out nil
+// metrics whose read methods return zeros).
+//
+// Checks, inside handler-context functions (functions with a
+// *sim.PIMCore or *sim.CPU parameter) of pimds/internal/sim and
+// pimds/internal/core/...:
+//
+//   - calls to the read API of pimds/internal/obs: Counter.Value,
+//     Gauge.Value, FloatGauge.Value, Histogram.N/Mean/Max/Quantile/
+//     Percentiles, Registry.Snapshot/WriteJSON;
+//
+// and additionally, in pimds/internal/core/... only:
+//
+//   - reads of the simulator's accounting state — sim.Vault counters
+//     and sim.CoreStats fields. Algorithms must make decisions from
+//     their own protocol state, not from the cost-accounting ledger;
+//     the sim package itself and post-run measurement code (no core
+//     parameter) are the sanctioned readers.
+var ObsSafety = &analysis.Analyzer{
+	Name: "obssafety",
+	Doc:  "flags handler code whose simulated behaviour can depend on observability state",
+	Run:  runObsSafety,
+}
+
+// obsReadMethods is the value-returning API of internal/obs.
+var obsReadMethods = map[string]bool{
+	"Value": true, "N": true, "Mean": true, "Max": true,
+	"Quantile": true, "Percentiles": true,
+	"Snapshot": true, "WriteJSON": true,
+}
+
+func runObsSafety(pass *analysis.Pass) {
+	inSim := underPath(pass.Path, simPath)
+	inCore := underPath(pass.Path, corePath)
+	if !inSim && !inCore {
+		return
+	}
+	info := pass.TypesInfo
+
+	for _, fn := range allFuncs(pass.Files) {
+		if paramOfType(info, fn.typ, isCoreParam) == nil {
+			continue
+		}
+		inspectShallow(fn.body, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			s, ok := info.Selections[sel]
+			if !ok {
+				return true
+			}
+			switch obj := s.Obj().(type) {
+			case *types.Func:
+				if typeFromPkg(s.Recv(), obsPath, false) && obsReadMethods[obj.Name()] {
+					pass.Reportf(sel.Sel.Pos(),
+						"handler code reads metric state (%s.%s); observability must be write-only from simulated code or results depend on whether metrics are enabled",
+						namedType(s.Recv()).Obj().Name(), obj.Name())
+				}
+			case *types.Var:
+				if !inCore || s.Kind() != types.FieldVal {
+					return true
+				}
+				if isSimType(s.Recv(), "Vault") || isSimType(s.Recv(), "CoreStats") {
+					pass.Reportf(sel.Sel.Pos(),
+						"handler code reads accounting state (%s.%s); algorithm decisions must come from protocol state, not the cost ledger",
+						namedType(s.Recv()).Obj().Name(), obj.Name())
+				}
+			}
+			return true
+		})
+	}
+}

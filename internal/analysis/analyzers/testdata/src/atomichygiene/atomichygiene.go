@@ -1,0 +1,65 @@
+// Fixture for the atomichygiene analyzer: mixed atomic/plain access
+// and by-value copies of sync primitives.
+package fixture
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type mixed struct {
+	n     uint64
+	clean atomic.Uint64
+}
+
+func (m *mixed) incAtomic() {
+	atomic.AddUint64(&m.n, 1)
+}
+
+func (m *mixed) readPlain() uint64 {
+	return m.n // want `n is accessed with sync/atomic elsewhere but read/written plainly here`
+}
+
+func (m *mixed) writePlain() {
+	m.n = 0 // want `n is accessed with sync/atomic elsewhere`
+}
+
+func (m *mixed) typedIsFine() uint64 {
+	m.clean.Add(1)
+	return m.clean.Load() // ok: typed atomics cannot be accessed plainly
+}
+
+var global int64
+
+func bumpGlobal() {
+	atomic.AddInt64(&global, 1)
+}
+
+func peekGlobal() int64 {
+	return global // want `global is accessed with sync/atomic elsewhere`
+}
+
+type guarded struct {
+	mu sync.Mutex
+	v  int
+}
+
+func lockByValue(mu sync.Mutex) { // want `parameter or result copies a value containing a sync primitive`
+	mu.Lock()
+}
+
+func copyGuarded(g *guarded) {
+	h := *g // want `assignment copies a value containing a sync primitive`
+	_ = h
+}
+
+func rangeCopies(gs []guarded) {
+	for _, g := range gs { // want `range element copies a value containing a sync primitive`
+		_ = g.v
+	}
+}
+
+func pointerIsFine(g *guarded) *guarded {
+	h := g // ok: copies the pointer, not the lock
+	return h
+}

@@ -1,0 +1,76 @@
+// Fixture for the costcharge analyzer: handler code (anything holding
+// a *sim.PIMCore or *sim.CPU) touching vault-resident cds structures
+// must charge the latency model.
+//
+//pimvet:package pimds/internal/core/fixture
+package fixture
+
+import (
+	"pimds/internal/cds/seqhash"
+	"pimds/internal/sim"
+)
+
+type part struct {
+	table  *seqhash.Table
+	served uint64
+}
+
+// freeRide serves a request out of vault state without charging a
+// single picosecond: exactly the dodge the analyzer exists to catch.
+// CountOp and Stats bookkeeping do not advance the clock.
+func (p *part) freeRide(c *sim.PIMCore, m sim.Message) {
+	_, ok := p.table.Get(m.Key) // want `call to Table\.Get in handler code \(freeRide\) without charging`
+	if ok {
+		p.served++
+	}
+	c.CountOp()
+}
+
+// charged pays for its probes through the charged accessor API.
+func (p *part) charged(c *sim.PIMCore, m sim.Message) {
+	p.table.ResetSteps()
+	_, _ = p.table.Get(m.Key)
+	c.ReadN(int(p.table.Steps()))
+	c.Send(sim.Message{To: m.From, Kind: m.Kind, Key: m.Key})
+	c.CountOp()
+}
+
+// viaHelper charges through a package-local helper; the analyzer's
+// fixpoint follows the call.
+func (p *part) viaHelper(c *sim.PIMCore, m sim.Message) {
+	p.table.ResetSteps()
+	p.table.Put(m.Key, m.Val)
+	chargeProbes(c, p.table)
+}
+
+func chargeProbes(c *sim.PIMCore, t *seqhash.Table) {
+	c.ReadN(int(t.Steps()))
+	c.Write()
+}
+
+// uncoveredHelper takes the core but never charges anything, directly
+// or transitively.
+func uncoveredHelper(c *sim.PIMCore, t *seqhash.Table) int {
+	return t.Len() // want `call to Table\.Len in handler code \(uncoveredHelper\) without charging`
+}
+
+// preload has no core in scope: it is a setup path, cost-free by
+// protocol definition, and exempt.
+func (p *part) preload(keys []int64) {
+	for _, k := range keys {
+		p.table.Put(k, k)
+	}
+}
+
+// cpuSide exercises the CPU flavor of the same rule.
+func cpuFreeRide(c *sim.CPU, t *seqhash.Table, k int64) bool {
+	_, ok := t.Get(k) // want `call to Table\.Get in handler code \(cpuFreeRide\) without charging`
+	return ok
+}
+
+func cpuCharged(c *sim.CPU, t *seqhash.Table, k int64) bool {
+	t.ResetSteps()
+	_, ok := t.Get(k)
+	c.MemReadN(int(t.Steps()))
+	return ok
+}

@@ -1,0 +1,77 @@
+// Fixture for the determinism analyzer. The package directive below
+// places it (logically) inside the simulator scope so the sim-only
+// checks — goroutines and map-range mutation — are active.
+//
+//pimvet:package pimds/internal/core/fixture
+package fixture
+
+import (
+	"math/rand"
+	"time"
+)
+
+type state struct {
+	table map[int64]int64
+	total int64
+}
+
+func wallClock() int64 {
+	return time.Now().UnixNano() // want `time\.Now reads the wall clock`
+}
+
+func wallSleep() {
+	time.Sleep(time.Millisecond) // want `time\.Sleep reads the wall clock`
+}
+
+func globalRand() int64 {
+	return rand.Int63() // want `global math/rand\.Int63 is seeded from runtime state`
+}
+
+func globalShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `global math/rand\.Shuffle`
+}
+
+func opaqueSource(src rand.Source) *rand.Rand {
+	return rand.New(src) // want `rand\.New with a source not built by rand\.NewSource`
+}
+
+func seeded() *rand.Rand {
+	return rand.New(rand.NewSource(42)) // ok: seed auditable at the call site
+}
+
+func seededUse(rng *rand.Rand) int64 {
+	return rng.Int63() // ok: method on an explicitly-seeded generator
+}
+
+func (s *state) mapOrderMutation(kv map[int64]int64) {
+	for k, v := range kv {
+		s.table[k] = v // want `map-range body mutates state that outlives`
+	}
+}
+
+func (s *state) mapOrderMethodCall(kv map[int64]int64, sink *state) {
+	for k := range kv {
+		sink.add(k) // want `map-range body mutates state that outlives`
+	}
+}
+
+func (s *state) add(k int64) { s.total += k }
+
+func (s *state) mapOrderLocalOnly(kv map[int64]int64) []int64 {
+	keys := make([]int64, 0, len(kv))
+	for k := range kv {
+		keys = append(keys, k) // ok: builds a function-local slice (sort it next)
+	}
+	return keys
+}
+
+func spawn(done chan struct{}) {
+	go func() { // want `goroutine spawned in simulator-scoped code`
+		close(done)
+	}()
+}
+
+func allowed() int64 {
+	//pimvet:allow determinism: fixture demonstrates a justified suppression
+	return time.Now().UnixNano()
+}

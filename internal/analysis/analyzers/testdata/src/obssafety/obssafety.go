@@ -1,0 +1,53 @@
+// Fixture for the obssafety analyzer: observability is write-only
+// from handler code; reading metrics or accounting state back into
+// the simulation makes results depend on observability configuration.
+//
+//pimvet:package pimds/internal/core/fixture
+package fixture
+
+import (
+	"pimds/internal/obs"
+	"pimds/internal/sim"
+)
+
+type part struct {
+	served *obs.Counter
+	batch  *obs.Histogram
+	limit  int64
+}
+
+// record only writes metrics: the sanctioned direction.
+func (p *part) record(c *sim.PIMCore, m sim.Message) {
+	p.served.Inc()
+	p.batch.Observe(m.Val)
+	c.Local()
+}
+
+// feedback branches simulated behaviour on a metric value: with a nil
+// registry Value() returns 0 and the simulation takes the other path.
+func (p *part) feedback(c *sim.PIMCore, m sim.Message) {
+	if p.served.Value() > 100 { // want `handler code reads metric state \(Counter\.Value\)`
+		c.Local()
+	}
+}
+
+func (p *part) histFeedback(c *sim.PIMCore) int64 {
+	return p.batch.Quantile(0.99) // want `handler code reads metric state \(Histogram\.Quantile\)`
+}
+
+// ledger reads the cost-accounting state to make a protocol decision.
+func (p *part) ledger(c *sim.PIMCore, m sim.Message) {
+	if c.Vault().Reads > 10 { // want `handler code reads accounting state \(Vault\.Reads\)`
+		c.Local()
+	}
+}
+
+func (p *part) opsLedger(c *sim.PIMCore) uint64 {
+	return c.Stats.Ops // want `handler code reads accounting state \(CoreStats\.Ops\)`
+}
+
+// export runs outside handler context (no core parameter): snapshot
+// and collector paths are the sanctioned readers.
+func (p *part) export() uint64 {
+	return p.served.Value()
+}

@@ -1,0 +1,151 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Directives are magic comments understood by pimvet:
+//
+//	//pimvet:allow analyzer1,analyzer2: justification
+//	    Suppresses diagnostics from the listed analyzers on the same
+//	    line or the immediately following line. The justification (text
+//	    after the colon) is required under -strict.
+//
+//	//pimvet:allow-file analyzer1,analyzer2: justification
+//	    Suppresses the listed analyzers for the whole file.
+//
+//	//pimvet:package import/path
+//	    Overrides the package's logical import path. Used by testdata
+//	    fixtures so path-scoped analyzers (which key off
+//	    pimds/internal/sim, pimds/internal/core/...) treat the fixture
+//	    as in-scope code.
+//
+// The analyzer list may be "all" to cover every analyzer.
+
+// Directive is one parsed //pimvet: comment.
+type Directive struct {
+	Kind          string // "allow", "allow-file" or "package"
+	Analyzers     []string
+	Justification string
+	Arg           string // for "package": the override path
+	Pos           token.Position
+}
+
+// Matches reports whether the directive covers the named analyzer.
+func (d *Directive) Matches(analyzer string) bool {
+	for _, a := range d.Analyzers {
+		if a == analyzer || a == "all" {
+			return true
+		}
+	}
+	return false
+}
+
+const directivePrefix = "//pimvet:"
+
+// parseDirectives extracts all pimvet directives from a file. Malformed
+// directives (an unknown verb after //pimvet:) are returned with Kind
+// "" so the driver can surface them instead of silently ignoring a
+// suppression the author believed was active.
+func parseDirectives(fset *token.FileSet, file *ast.File) []Directive {
+	var out []Directive
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			if !strings.HasPrefix(c.Text, directivePrefix) {
+				continue
+			}
+			rest := strings.TrimPrefix(c.Text, directivePrefix)
+			d := Directive{Pos: fset.Position(c.Pos())}
+			switch {
+			case strings.HasPrefix(rest, "package "):
+				d.Kind = "package"
+				d.Arg = strings.TrimSpace(strings.TrimPrefix(rest, "package "))
+			case strings.HasPrefix(rest, "allow-file "):
+				d.Kind = "allow-file"
+				parseAllow(&d, strings.TrimPrefix(rest, "allow-file "))
+			case strings.HasPrefix(rest, "allow "):
+				d.Kind = "allow"
+				parseAllow(&d, strings.TrimPrefix(rest, "allow "))
+			default:
+				d.Kind = "" // malformed; reported by the driver
+				d.Arg = rest
+			}
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// parseAllow splits "analyzer1,analyzer2: justification".
+func parseAllow(d *Directive, s string) {
+	names := s
+	if i := strings.Index(s, ":"); i >= 0 {
+		names = s[:i]
+		d.Justification = strings.TrimSpace(s[i+1:])
+	}
+	for _, n := range strings.Split(names, ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			d.Analyzers = append(d.Analyzers, n)
+		}
+	}
+}
+
+// fileDirectives groups a file's directives for fast suppression
+// lookups.
+type fileDirectives struct {
+	fileAllows []Directive
+	lineAllows map[int][]Directive // keyed by source line of the comment
+	malformed  []Directive
+}
+
+func buildFileDirectives(fset *token.FileSet, file *ast.File) fileDirectives {
+	fd := fileDirectives{lineAllows: make(map[int][]Directive)}
+	for _, d := range parseDirectives(fset, file) {
+		switch d.Kind {
+		case "allow":
+			fd.lineAllows[d.Pos.Line] = append(fd.lineAllows[d.Pos.Line], d)
+		case "allow-file":
+			fd.fileAllows = append(fd.fileAllows, d)
+		case "package":
+			// handled at load time
+		default:
+			fd.malformed = append(fd.malformed, d)
+		}
+	}
+	return fd
+}
+
+// suppressors returns the directives that suppress a diagnostic from
+// analyzer at line: file-level allows plus line allows on the same line
+// or the line directly above.
+func (fd *fileDirectives) suppressors(analyzer string, line int) []Directive {
+	var out []Directive
+	for _, d := range fd.fileAllows {
+		if d.Matches(analyzer) {
+			out = append(out, d)
+		}
+	}
+	for _, l := range [2]int{line, line - 1} {
+		for _, d := range fd.lineAllows[l] {
+			if d.Matches(analyzer) {
+				out = append(out, d)
+			}
+		}
+	}
+	return out
+}
+
+// packageOverride returns the //pimvet:package override declared in any
+// of the files, or "".
+func packageOverride(fset *token.FileSet, files []*ast.File) string {
+	for _, f := range files {
+		for _, d := range parseDirectives(fset, f) {
+			if d.Kind == "package" && d.Arg != "" {
+				return d.Arg
+			}
+		}
+	}
+	return ""
+}

@@ -1,0 +1,276 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	Dir   string // absolute directory
+	Path  string // module-relative import path (modulePath/rel/dir)
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+
+	// LogicalPath is Path unless a //pimvet:package directive overrides
+	// it (testdata fixtures use this to opt into path-scoped checks).
+	LogicalPath string
+
+	// Errors holds parse and type errors. Analyzers still run on
+	// packages with errors only if the caller chooses to.
+	Errors []error
+}
+
+// Loader parses and type-checks packages of the enclosing module using
+// only the standard library: intra-module imports are resolved by
+// walking the module tree, everything else goes to the "source"
+// importer (which type-checks GOROOT packages from source — no compiled
+// export data needed).
+type Loader struct {
+	ModRoot string // absolute path of the directory containing go.mod
+	ModPath string // module path declared in go.mod
+
+	fset *token.FileSet
+	std  types.ImporterFrom
+	pkgs map[string]*Package // keyed by import path
+	dirs map[string]*Package // keyed by absolute dir
+}
+
+// NewLoader locates the module containing dir and returns a loader for
+// it.
+func NewLoader(dir string) (*Loader, error) {
+	root, path, err := findModule(dir)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	return &Loader{
+		ModRoot: root,
+		ModPath: path,
+		fset:    fset,
+		std:     importer.ForCompiler(fset, "source", nil).(types.ImporterFrom),
+		pkgs:    make(map[string]*Package),
+		dirs:    make(map[string]*Package),
+	}, nil
+}
+
+// Fset returns the loader's shared file set.
+func (l *Loader) Fset() *token.FileSet { return l.fset }
+
+// findModule walks up from dir to the nearest go.mod and parses its
+// module line.
+func findModule(dir string) (root, path string, err error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for d := abs; ; {
+		data, err := os.ReadFile(filepath.Join(d, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if strings.HasPrefix(line, "module ") {
+					return d, strings.TrimSpace(strings.TrimPrefix(line, "module ")), nil
+				}
+			}
+			return "", "", fmt.Errorf("analysis: %s/go.mod has no module line", d)
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", "", fmt.Errorf("analysis: no go.mod found above %s", abs)
+		}
+		d = parent
+	}
+}
+
+// LoadDir parses and type-checks the package in dir (non-test files
+// only). Results are cached, so loading a package twice — directly or
+// via imports — is free.
+func (l *Loader) LoadDir(dir string) (*Package, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	if p, ok := l.dirs[abs]; ok {
+		return p, nil
+	}
+	rel, err := filepath.Rel(l.ModRoot, abs)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return nil, fmt.Errorf("analysis: %s is outside module %s", abs, l.ModRoot)
+	}
+	importPath := l.ModPath
+	if rel != "." {
+		importPath = l.ModPath + "/" + filepath.ToSlash(rel)
+	}
+	return l.load(importPath, abs)
+}
+
+func (l *Loader) load(importPath, dir string) (*Package, error) {
+	if p, ok := l.pkgs[importPath]; ok {
+		return p, nil
+	}
+	pkg := &Package{Dir: dir, Path: importPath, Fset: l.fset}
+	// Register before type-checking so import cycles fail in go/types
+	// (as an error) rather than recursing forever here.
+	l.pkgs[importPath] = pkg
+	l.dirs[dir] = pkg
+
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		n := e.Name()
+		if e.IsDir() || !strings.HasSuffix(n, ".go") || strings.HasSuffix(n, "_test.go") {
+			continue
+		}
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("analysis: no non-test Go files in %s", dir)
+	}
+	for _, n := range names {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, n), nil, parser.ParseComments)
+		if err != nil {
+			pkg.Errors = append(pkg.Errors, err)
+			continue
+		}
+		pkg.Files = append(pkg.Files, f)
+	}
+
+	pkg.Info = &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{
+		Importer: l,
+		Error:    func(err error) { pkg.Errors = append(pkg.Errors, err) },
+	}
+	// Check reports the first hard error; the Error hook above already
+	// collected it (and any others), so the return is redundant here.
+	pkg.Types, _ = conf.Check(importPath, l.fset, pkg.Files, pkg.Info)
+
+	pkg.LogicalPath = pkg.Path
+	if o := packageOverride(l.fset, pkg.Files); o != "" {
+		pkg.LogicalPath = o
+	}
+	return pkg, nil
+}
+
+// Import implements types.Importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	return l.ImportFrom(path, l.ModRoot, 0)
+}
+
+// ImportFrom implements types.ImporterFrom: module-local packages are
+// loaded from the module tree, "unsafe" is built in, and everything
+// else (the standard library) is delegated to the source importer.
+func (l *Loader) ImportFrom(path, srcDir string, mode types.ImportMode) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if path == l.ModPath || strings.HasPrefix(path, l.ModPath+"/") {
+		rel := strings.TrimPrefix(strings.TrimPrefix(path, l.ModPath), "/")
+		dir := filepath.Join(l.ModRoot, filepath.FromSlash(rel))
+		p, err := l.load(path, dir)
+		if err != nil {
+			return nil, err
+		}
+		if p.Types == nil {
+			return nil, fmt.Errorf("analysis: import %q failed to type-check", path)
+		}
+		return p.Types, nil
+	}
+	return l.std.ImportFrom(path, srcDir, mode)
+}
+
+// ExpandPatterns resolves go-tool-style package patterns relative to
+// root into package directories: "dir" names one directory, "dir/..."
+// walks recursively. testdata, vendor, hidden and underscore-prefixed
+// directories are skipped, as are directories with no non-test Go
+// files.
+func ExpandPatterns(root string, patterns []string) ([]string, error) {
+	seen := make(map[string]bool)
+	var out []string
+	add := func(dir string) {
+		if !seen[dir] {
+			seen[dir] = true
+			out = append(out, dir)
+		}
+	}
+	for _, pat := range patterns {
+		recursive := false
+		if pat == "..." {
+			pat, recursive = ".", true
+		} else if strings.HasSuffix(pat, "/...") {
+			pat, recursive = strings.TrimSuffix(pat, "/..."), true
+		}
+		base := pat
+		if !filepath.IsAbs(base) {
+			base = filepath.Join(root, base)
+		}
+		base = filepath.Clean(base)
+		if !recursive {
+			if ok, err := hasGoFiles(base); err != nil {
+				return nil, err
+			} else if !ok {
+				return nil, fmt.Errorf("pimvet: no Go files in %s", base)
+			}
+			add(base)
+			continue
+		}
+		err := filepath.WalkDir(base, func(p string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if p != base && (name == "testdata" || name == "vendor" ||
+				strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			if ok, err := hasGoFiles(p); err != nil {
+				return err
+			} else if ok {
+				add(p)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+func hasGoFiles(dir string) (bool, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false, err
+	}
+	for _, e := range entries {
+		n := e.Name()
+		if !e.IsDir() && strings.HasSuffix(n, ".go") && !strings.HasSuffix(n, "_test.go") {
+			return true, nil
+		}
+	}
+	return false, nil
+}

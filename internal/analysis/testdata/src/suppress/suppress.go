@@ -1,0 +1,26 @@
+// Fixture for the framework's suppression tests. The dummy analyzer in
+// framework_test.go reports every call to bad().
+package suppress
+
+func bad() {}
+
+func fires() {
+	bad()
+}
+
+func suppressedSameLine() {
+	bad() //pimvet:allow dummy: demonstrating a justified same-line suppression
+}
+
+func suppressedLineAbove() {
+	//pimvet:allow dummy: demonstrating a justified previous-line suppression
+	bad()
+}
+
+func suppressedNoJustification() {
+	bad() //pimvet:allow dummy
+}
+
+func otherAnalyzerDirectiveDoesNotApply() {
+	bad() //pimvet:allow somethingelse: wrong analyzer name, must not suppress
+}

@@ -1,0 +1,11 @@
+// Fixture: a file-level allow silences the dummy analyzer everywhere
+// in the file.
+//
+//pimvet:allow-file dummy: the whole file is exempt, with a reason
+package suppressfile
+
+func bad() {}
+
+func a() { bad() }
+
+func b() { bad() }

@@ -18,6 +18,7 @@ package pimhash
 
 import (
 	"fmt"
+	"sort"
 
 	"pimds/internal/cds/seqhash"
 	"pimds/internal/obs"
@@ -94,11 +95,25 @@ func (m *Map) coreFor(k int64) sim.CoreID {
 	return m.parts[routeHash(k)%uint64(len(m.parts))].core.ID()
 }
 
-// Preload stores key→value pairs at no simulated cost.
+// Preload stores key→value pairs at no simulated cost. Insertion runs
+// in sorted key order: hash-chain order determines later probe counts
+// (Steps), so inserting in map-iteration order would make charged
+// latencies vary run to run.
 func (m *Map) Preload(kv map[int64]int64) {
-	for k, v := range kv {
-		m.parts[routeHash(k)%uint64(len(m.parts))].table.Put(k, v)
+	for _, k := range sortedKeys(kv) {
+		m.parts[routeHash(k)%uint64(len(m.parts))].table.Put(k, kv[k])
 	}
+}
+
+// sortedKeys returns kv's keys in increasing order, detaching preload
+// from map iteration order.
+func sortedKeys(kv map[int64]int64) []int64 {
+	keys := make([]int64, 0, len(kv))
+	for k := range kv {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
 }
 
 // TotalLen returns the number of stored keys.
@@ -208,9 +223,10 @@ func NewSimShardedCPU(e *sim.Engine, p, s int, next func(cpu int, seq uint64) Op
 // Ops returns the snapshot function for sim.Measure.
 func (b *SimShardedCPU) Ops() func() uint64 { return sim.OpsOfCPUs(b.cpus) }
 
-// Preload stores pairs at no cost.
+// Preload stores pairs at no cost, in sorted key order for the same
+// chain-order determinism reason as Map.Preload.
 func (b *SimShardedCPU) Preload(kv map[int64]int64) {
-	for k, v := range kv {
-		b.tables[routeHash(k)%uint64(len(b.tables))].Put(k, v)
+	for _, k := range sortedKeys(kv) {
+		b.tables[routeHash(k)%uint64(len(b.tables))].Put(k, kv[k])
 	}
 }
