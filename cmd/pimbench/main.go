@@ -5,37 +5,45 @@
 //
 //	pimbench -list
 //	pimbench -exp fig2 [-format csv] [-quick]
+//	pimbench -exp fig2,latency -json BENCH.json
 //	pimbench -exp all -r1 3 -r2 3 -r3 1
 //
 // Simulator experiments run in virtual time and are deterministic;
 // host experiments (-exp fig2-host, fig4-host, queue-host) measure the
-// real goroutine implementations on this machine.
+// real goroutine implementations on this machine. -json writes the
+// same tables in the machine-readable benchfmt format consumed by
+// benchdiff; keep host experiments out of committed baselines, since
+// they measure wall-clock time.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
+	"strings"
 	"time"
 
+	"pimds/internal/benchfmt"
 	"pimds/internal/harness"
 	"pimds/internal/model"
 )
 
 func main() {
 	var (
-		expID   = flag.String("exp", "", "experiment id to run, or 'all' (see -list)")
-		list    = flag.Bool("list", false, "list available experiments")
-		format  = flag.String("format", "table", "output format: table or csv")
-		quick   = flag.Bool("quick", false, "smaller sweeps and shorter windows")
-		r1      = flag.Float64("r1", model.DefaultR1, "Lcpu/Lpim ratio")
-		r2      = flag.Float64("r2", model.DefaultR2, "Lcpu/Lllc ratio")
-		r3      = flag.Float64("r3", model.DefaultR3, "Latomic/Lcpu ratio")
-		lcpu    = flag.Duration("lcpu", model.DefaultLcpu, "absolute CPU memory latency")
-		threads = flag.Int("host-threads", runtime.GOMAXPROCS(0)*4, "max threads for host experiments")
-		hostDur = flag.Duration("host-measure", 300*time.Millisecond, "host measurement window per point")
-		seed    = flag.Int64("seed", 0, "workload seed for simulator experiments (0 = historical streams)")
+		expID    = flag.String("exp", "", "experiment id(s) to run, comma-separated, or 'all' (see -list)")
+		list     = flag.Bool("list", false, "list available experiments")
+		format   = flag.String("format", "table", "output format: table or csv")
+		quick    = flag.Bool("quick", false, "smaller sweeps and shorter windows")
+		r1       = flag.Float64("r1", model.DefaultR1, "Lcpu/Lpim ratio")
+		r2       = flag.Float64("r2", model.DefaultR2, "Lcpu/Lllc ratio")
+		r3       = flag.Float64("r3", model.DefaultR3, "Latomic/Lcpu ratio")
+		lcpu     = flag.Duration("lcpu", model.DefaultLcpu, "absolute CPU memory latency")
+		threads  = flag.Int("host-threads", runtime.GOMAXPROCS(0)*4, "max threads for host experiments")
+		hostDur  = flag.Duration("host-measure", 300*time.Millisecond, "host measurement window per point")
+		seed     = flag.Int64("seed", 0, "workload seed for simulator experiments (0 = historical streams)")
+		jsonPath = flag.String("json", "", "also write results as machine-readable JSON to this file ('-' = stdout)")
 	)
 	flag.Parse()
 
@@ -62,26 +70,72 @@ func main() {
 		os.Exit(2)
 	}
 
+	report := &benchfmt.Report{
+		Name: "pimbench",
+		Params: benchfmt.Params{
+			R1: *r1, R2: *r2, R3: *r3,
+			LcpuNS: float64(*lcpu) / float64(time.Nanosecond),
+			Seed:   *seed, Quick: *quick,
+		},
+	}
+
 	run := func(e harness.Experiment) {
 		fmt.Printf("# %s — %s\n", e.ID, e.Description)
-		for _, tab := range e.Run(opts) {
+		tables := e.Run(opts)
+		for _, tab := range tables {
 			if err := tab.Write(os.Stdout, *format); err != nil {
 				fmt.Fprintln(os.Stderr, err)
 				os.Exit(1)
 			}
 		}
+		res := benchfmt.ExperimentResult{ID: e.ID, Description: e.Description}
+		for _, tab := range tables {
+			res.Tables = append(res.Tables, benchfmt.Table{
+				Title: tab.Title, Note: tab.Note, Columns: tab.Columns, Rows: tab.Rows,
+			})
+		}
+		report.Experiments = append(report.Experiments, res)
 	}
 
+	var exps []harness.Experiment
 	if *expID == "all" {
-		for _, e := range harness.Experiments() {
-			run(e)
+		exps = harness.Experiments()
+	} else {
+		for _, id := range strings.Split(*expID, ",") {
+			id = strings.TrimSpace(id)
+			if id == "" {
+				continue
+			}
+			e, ok := harness.FindExperiment(id)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", id)
+				os.Exit(2)
+			}
+			exps = append(exps, e)
 		}
-		return
+		if len(exps) == 0 {
+			fmt.Fprintln(os.Stderr, "no experiments selected; use -list")
+			os.Exit(2)
+		}
 	}
-	e, ok := harness.FindExperiment(*expID)
-	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", *expID)
-		os.Exit(2)
+	for _, e := range exps {
+		run(e)
 	}
-	run(e)
+
+	if *jsonPath != "" {
+		var w io.Writer = os.Stdout
+		if *jsonPath != "-" {
+			f, err := os.Create(*jsonPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			w = f
+		}
+		if err := report.Write(w); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
 }

@@ -7,11 +7,13 @@
 //	pimsim -structure skiplist -vaults 8 -cpus 16 -keyspace 16384 -measure 5ms
 //	pimsim -structure queue -vaults 4 -cpus 12 -threshold 64
 //	pimsim -structure list -combining=false -cpus 8
+//	pimsim -structure list -cpus 16 -profile - -flame list.folded
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
 	"os"
 
@@ -23,6 +25,7 @@ import (
 	"pimds/internal/harness"
 	"pimds/internal/model"
 	"pimds/internal/obs"
+	"pimds/internal/prof"
 	"pimds/internal/sim"
 )
 
@@ -44,6 +47,8 @@ func main() {
 		trace     = flag.Bool("trace", false, "print every message and served request (very verbose; use tiny -measure)")
 		traceJSON = flag.String("trace-json", "", "write a Chrome trace-event JSON file (load in chrome://tracing or Perfetto)")
 		metrics   = flag.String("metrics", "", "write a metrics snapshot as JSON to this file (\"-\" or /dev/stdout for stdout)")
+		profile   = flag.String("profile", "", "write a per-request critical-path attribution report as JSON to this file (\"-\" = stdout)")
+		flame     = flag.String("flame", "", "write folded flamegraph stacks (component;structure;kind) to this file (\"-\" = stdout)")
 	)
 	flag.Parse()
 
@@ -93,6 +98,14 @@ func main() {
 		e.SetMetrics(reg)
 	}
 
+	// Attach the profiler before any client issues its first request so
+	// every request is tracked from injection.
+	var profiler *prof.Profiler
+	if *profile != "" || *flame != "" {
+		profiler = prof.New(e, prof.Options{Structure: *structure})
+		e.SetProfiler(profiler)
+	}
+
 	cfg := e.Config()
 	fmt.Printf("latencies: Lcpu=%v Lpim=%v Lllc=%v Latomic=%v Lmessage=%v\n",
 		cfg.Lcpu, cfg.Lpim, cfg.Lllc, cfg.Latomic, cfg.Lmessage)
@@ -130,6 +143,36 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	if profiler != nil {
+		if *profile != "" {
+			if err := writeTo(*profile, profiler.WriteJSON); err != nil {
+				fmt.Fprintln(os.Stderr, "profile:", err)
+				os.Exit(1)
+			}
+		}
+		if *flame != "" {
+			if err := writeTo(*flame, profiler.WriteFolded); err != nil {
+				fmt.Fprintln(os.Stderr, "flame:", err)
+				os.Exit(1)
+			}
+		}
+	}
+}
+
+// writeTo runs write against path ("-" = stdout).
+func writeTo(path string, write func(io.Writer) error) error {
+	if path == "-" {
+		return write(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // writeMetrics snapshots reg as indented JSON into path ("-" = stdout).

@@ -62,6 +62,7 @@ const (
 	corePath = "pimds/internal/core"
 	cdsPath  = "pimds/internal/cds"
 	obsPath  = "pimds/internal/obs"
+	profPath = "pimds/internal/prof"
 )
 
 func underPath(path, prefix string) bool {

@@ -30,6 +30,13 @@ import (
 //     their own protocol state, not from the cost-accounting ledger;
 //     the sim package itself and post-run measurement code (no core
 //     parameter) are the sanctioned readers.
+//
+// The same contract covers the profiler (PR 3): any member access on a
+// pimds/internal/prof type — span trails, attribution ledgers, reports
+// — from handler-context code is flagged. The simulator feeds the
+// profiler exclusively through the sim.Profiler interface, and
+// post-run code reads it back; handler algorithms must see neither
+// side.
 var ObsSafety = &analysis.Analyzer{
 	Name: "obssafety",
 	Doc:  "flags handler code whose simulated behaviour can depend on observability state",
@@ -62,6 +69,12 @@ func runObsSafety(pass *analysis.Pass) {
 			}
 			s, ok := info.Selections[sel]
 			if !ok {
+				return true
+			}
+			if typeFromPkg(s.Recv(), profPath, false) {
+				pass.Reportf(sel.Sel.Pos(),
+					"handler code touches profiler state (%s.%s); the profiler observes the simulation through sim.Profiler only and must stay invisible to handler algorithms",
+					namedType(s.Recv()).Obj().Name(), s.Obj().Name())
 				return true
 			}
 			switch obj := s.Obj().(type) {

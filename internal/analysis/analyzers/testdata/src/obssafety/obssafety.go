@@ -7,6 +7,7 @@ package fixture
 
 import (
 	"pimds/internal/obs"
+	"pimds/internal/prof"
 	"pimds/internal/sim"
 )
 
@@ -50,4 +51,27 @@ func (p *part) opsLedger(c *sim.PIMCore) uint64 {
 // and collector paths are the sanctioned readers.
 func (p *part) export() uint64 {
 	return p.served.Value()
+}
+
+type profPart struct {
+	pr *prof.Profiler
+}
+
+// steer branches simulated behaviour on profiler state: with no
+// profiler attached the count is zero and the run takes another path.
+func (p *profPart) steer(c *sim.PIMCore) {
+	if p.pr.Completed() > 10 { // want `handler code touches profiler state \(Profiler\.Completed\)`
+		c.Local()
+	}
+}
+
+// peek reads a request record's attribution ledger inside a handler.
+func peek(c *sim.CPU, rec *prof.Record) int64 {
+	return rec.LatencyPS // want `handler code touches profiler state \(Record\.LatencyPS\)`
+}
+
+// drain runs post-run (no core parameter): reports and shares are the
+// sanctioned way out of the profiler.
+func (p *profPart) drain() map[string]float64 {
+	return p.pr.Shares()
 }

@@ -120,6 +120,7 @@ func (cl *Client) issue(c *sim.CPU) {
 		return
 	}
 	cl.issuedAt = c.Clock()
+	c.ProfOpStart()
 	enq := false
 	switch cl.role {
 	case Enqueuer:
@@ -161,6 +162,7 @@ func (cl *Client) onMessage(c *sim.CPU, m sim.Message) {
 	case MsgEnqOK:
 		cl.Enqueued++
 		c.CountOp()
+		c.ProfOpEnd()
 		cl.Latency.Add(int64(c.Clock() - cl.issuedAt))
 		cl.q.eng.RecordOpLatency(MsgEnq, c.Clock()-cl.issuedAt)
 		if cl.OnComplete != nil {
@@ -177,6 +179,7 @@ func (cl *Client) onMessage(c *sim.CPU, m sim.Message) {
 	case MsgDeqOK:
 		cl.Dequeued++
 		c.CountOp()
+		c.ProfOpEnd()
 		cl.Latency.Add(int64(c.Clock() - cl.issuedAt))
 		cl.q.eng.RecordOpLatency(MsgDeq, c.Clock()-cl.issuedAt)
 		if cl.OnDequeue != nil {
@@ -189,6 +192,7 @@ func (cl *Client) onMessage(c *sim.CPU, m sim.Message) {
 	case MsgDeqEmpty:
 		cl.Empty++
 		c.CountOp()
+		c.ProfOpEnd()
 		if cl.OnComplete != nil {
 			cl.OnComplete(cl.issuedAt, c.Clock(), MsgDeq, 0, false)
 		}

@@ -75,6 +75,7 @@ func (cl *Client) Stop() { cl.stopped = true }
 func (cl *Client) issue(c *sim.CPU, op seqskip.Op) {
 	if cl.cur != op || cl.Completed+cl.Rejections == 0 {
 		cl.issuedAt = c.Clock()
+		c.ProfOpStart()
 	}
 	cl.cur = op
 	c.LLCRead()
@@ -93,6 +94,7 @@ func (cl *Client) onMessage(c *sim.CPU, m sim.Message) {
 	case MsgResp:
 		cl.Completed++
 		c.CountOp()
+		c.ProfOpEnd()
 		d := c.Clock() - cl.issuedAt
 		cl.Latency.Add(int64(d))
 		kind := MsgContains

@@ -360,6 +360,7 @@ func (cl *Client) issue(c *sim.CPU) {
 		return
 	}
 	cl.issuedAt = c.Clock()
+	c.ProfOpStart()
 	push := false
 	switch cl.role {
 	case Pusher:
@@ -397,6 +398,7 @@ func (cl *Client) onMessage(c *sim.CPU, m sim.Message) {
 	case MsgPushOK:
 		cl.Pushed++
 		c.CountOp()
+		c.ProfOpEnd()
 		cl.Latency.Add(int64(c.Clock() - cl.issuedAt))
 		cl.s.eng.RecordOpLatency(MsgPush, c.Clock()-cl.issuedAt)
 		if cl.OnComplete != nil {
@@ -406,6 +408,7 @@ func (cl *Client) onMessage(c *sim.CPU, m sim.Message) {
 	case MsgPopOK:
 		cl.Popped++
 		c.CountOp()
+		c.ProfOpEnd()
 		cl.Latency.Add(int64(c.Clock() - cl.issuedAt))
 		cl.s.eng.RecordOpLatency(MsgPop, c.Clock()-cl.issuedAt)
 		if cl.OnPop != nil {
@@ -418,6 +421,7 @@ func (cl *Client) onMessage(c *sim.CPU, m sim.Message) {
 	case MsgPopEmpty:
 		cl.Empty++
 		c.CountOp()
+		c.ProfOpEnd()
 		if cl.OnComplete != nil {
 			cl.OnComplete(cl.issuedAt, c.Clock(), MsgPop, 0, false)
 		}

@@ -22,6 +22,7 @@ import (
 	"pimds/internal/core/pimskip"
 	"pimds/internal/core/pimstack"
 	"pimds/internal/model"
+	"pimds/internal/prof"
 	"pimds/internal/sim"
 	"pimds/internal/stats"
 )
@@ -865,19 +866,33 @@ func HashExp(o Options) []*Table {
 
 // LatencyExp reports operation response times (p50/p95/p99) for the
 // PIM structures — something the paper's throughput-only model cannot
-// see. It exposes the combining list's latency/throughput tradeoff:
-// the batching window adds one round trip of latency at low load.
+// see — plus the profiler's critical-path attribution: what fraction
+// of each request's latency was memory, message wire time, queueing,
+// combiner-batch wait, or handler service. It exposes the combining
+// list's latency/throughput tradeoff: the batching window adds one
+// round trip of latency at low load, visible as the comb% column.
 func LatencyExp(o Options) []*Table {
 	so := o.simOpts()
 	const keySpace = 400
 	t := &Table{
-		Title:   "Extension — response-time percentiles (virtual time)",
-		Columns: []string{"structure", "clients", "ops/s", "p50", "p95", "p99"},
-		Note:    "the combining list trades one round trip of low-load latency for batching throughput",
+		Title: "Extension — response-time percentiles and attribution (virtual time)",
+		Columns: []string{"structure", "clients", "ops/s", "p50", "p95", "p99",
+			"mem%", "msg%", "queue%", "comb%", "svc%"},
+		Note: "attribution columns are profiler critical-path shares; the combining list trades one round trip of low-load latency (comb%) for batching throughput",
 	}
 	ps := func(h *stats.Histogram) (string, string, string) {
 		p50, p95, p99 := h.Percentiles()
 		return sim.Time(p50).String(), sim.Time(p95).String(), sim.Time(p99).String()
+	}
+	// shareCells renders the profiler's global attribution shares in
+	// column order; atomics never appear in PIM client request paths.
+	shareCells := func(pr *prof.Profiler) []interface{} {
+		s := pr.Shares()
+		pct := func(c string) string { return fmt.Sprintf("%.1f%%", 100*s[c]) }
+		return []interface{}{pct("memory"), pct("message"), pct("queueing"), pct("combiner_wait"), pct("service")}
+	}
+	addRow := func(pr *prof.Profiler, cells ...interface{}) {
+		t.AddRow(append(cells, shareCells(pr)...)...)
 	}
 
 	for _, cfg := range []struct {
@@ -891,6 +906,8 @@ func LatencyExp(o Options) []*Table {
 		{"PIM list combining", true, 16},
 	} {
 		e := sim.NewEngine(sim.ConfigFromParams(o.Params))
+		pr := prof.New(e, prof.Options{Structure: "pimlist"})
+		e.SetProfiler(pr)
 		l := pimlist.New(e, cfg.combining)
 		l.Preload(PreloadKeys(keySpace))
 		agg := stats.NewHistogram(16)
@@ -904,12 +921,14 @@ func LatencyExp(o Options) []*Table {
 		m := &sim.Meter{Engine: e, Clients: clients}
 		_, ops := m.Run(so.Warmup, so.Measure)
 		p50, p95, p99 := ps(agg)
-		t.AddRow(cfg.name, cfg.p, ops, p50, p95, p99)
+		addRow(pr, cfg.name, cfg.p, ops, p50, p95, p99)
 	}
 
 	// PIM skip-list, k=8, p=16.
 	{
 		e := sim.NewEngine(sim.ConfigFromParams(o.Params))
+		pr := prof.New(e, prof.Options{Structure: "pimskip"})
+		e.SetProfiler(pr)
 		s := pimskip.New(e, 1<<14, 8, 23)
 		s.Preload(PreloadKeys(1 << 14))
 		agg := stats.NewHistogram(16)
@@ -934,12 +953,14 @@ func LatencyExp(o Options) []*Table {
 		}
 		_, ops := sim.Measure(e, start, snapshot, so.Warmup, so.Measure)
 		p50, p95, p99 := ps(agg)
-		t.AddRow("PIM skip-list k=8", 16, ops, p50, p95, p99)
+		addRow(pr, "PIM skip-list k=8", 16, ops, p50, p95, p99)
 	}
 
 	// PIM queue, dequeue side.
 	{
 		e := sim.NewEngine(sim.ConfigFromParams(o.Params))
+		pr := prof.New(e, prof.Options{Structure: "pimqueue"})
+		e.SetProfiler(pr)
 		q := pimqueue.New(e, 2, 1<<30)
 		vals := make([]int64, 1<<20)
 		for i := range vals {
@@ -962,7 +983,7 @@ func LatencyExp(o Options) []*Table {
 		}
 		_, ops := sim.Measure(e, start, sim.OpsOfCPUs(cpus), so.Warmup, so.Measure)
 		p50, p95, p99 := ps(agg)
-		t.AddRow("PIM queue (deq side)", 12, ops, p50, p95, p99)
+		addRow(pr, "PIM queue (deq side)", 12, ops, p50, p95, p99)
 	}
 	return []*Table{t}
 }

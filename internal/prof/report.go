@@ -1,0 +1,194 @@
+package prof
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Span is one merged interval of a request's critical path: the
+// request spent [StartPS, EndPS] on core Core doing Component work.
+type Span struct {
+	Component string `json:"component"`
+	Core      int    `json:"core"`
+	StartPS   int64  `json:"start_ps"`
+	EndPS     int64  `json:"end_ps"`
+}
+
+// Record is one completed request's drill-down: its exact component
+// breakdown and span trail. ComponentsPS sums exactly to LatencyPS.
+type Record struct {
+	Kind         string           `json:"kind"`
+	Client       int              `json:"client"`
+	IssuedPS     int64            `json:"issued_ps"`
+	LatencyPS    int64            `json:"latency_ps"`
+	ComponentsPS map[string]int64 `json:"components_ps"`
+	Combined     bool             `json:"combined"`
+	Batch        int              `json:"batch"`
+	Messages     int              `json:"messages"`
+	Hops         int              `json:"hops"`
+	Spans        []Span           `json:"spans,omitempty"`
+}
+
+// Quantiles summarizes a latency distribution in picoseconds.
+type Quantiles struct {
+	MeanPS float64 `json:"mean_ps"`
+	P50PS  int64   `json:"p50_ps"`
+	P95PS  int64   `json:"p95_ps"`
+	P99PS  int64   `json:"p99_ps"`
+}
+
+// KindReport is the aggregate attribution for one request kind.
+type KindReport struct {
+	Count        uint64             `json:"count"`
+	Latency      Quantiles          `json:"latency"`
+	ComponentsPS map[string]int64   `json:"components_ps"`
+	Shares       map[string]float64 `json:"shares"`
+	Dominant     string             `json:"dominant"`
+	Combined     uint64             `json:"combined"`
+	MeanBatch    float64            `json:"mean_batch"`
+	MeanMessages float64            `json:"mean_messages"`
+	MeanHops     float64            `json:"mean_hops"`
+}
+
+// Report is the profiler's stable-JSON attribution report. All maps
+// serialize with sorted keys and all values are deterministic
+// functions of the simulation, so two runs with the same seed produce
+// byte-identical reports.
+type Report struct {
+	Structure    string                `json:"structure"`
+	Requests     uint64                `json:"requests"`
+	InFlight     int                   `json:"in_flight"`
+	TotalPS      int64                 `json:"total_ps"`
+	ComponentsPS map[string]int64      `json:"components_ps"`
+	Shares       map[string]float64    `json:"shares"`
+	Kinds        map[string]KindReport `json:"kinds"`
+	Slowest      []*Record             `json:"slowest"`
+}
+
+// Report builds the aggregate attribution report.
+func (p *Profiler) Report() *Report {
+	rep := &Report{
+		Structure:    p.opt.Structure,
+		Requests:     p.completedN,
+		InFlight:     len(p.active),
+		ComponentsPS: make(map[string]int64, numComponents),
+		Shares:       make(map[string]float64, numComponents),
+		Kinds:        make(map[string]KindReport, len(p.kinds)),
+		Slowest:      p.slowest,
+	}
+	if rep.Slowest == nil {
+		rep.Slowest = []*Record{}
+	}
+	var global [numComponents]int64
+	for kind, agg := range p.kinds {
+		kr := KindReport{
+			Count: agg.count,
+			Latency: Quantiles{
+				MeanPS: agg.lat.Mean(),
+			},
+			ComponentsPS: make(map[string]int64, numComponents),
+			Shares:       make(map[string]float64, numComponents),
+			Combined:     agg.combined,
+			MeanBatch:    float64(agg.batchSum) / float64(agg.count),
+			MeanMessages: float64(agg.msgSum) / float64(agg.count),
+			MeanHops:     float64(agg.hopSum) / float64(agg.count),
+		}
+		kr.Latency.P50PS, kr.Latency.P95PS, kr.Latency.P99PS = agg.lat.Percentiles()
+		dominant := Component(0)
+		for i, v := range agg.comp {
+			global[i] += v
+			if v == 0 {
+				continue
+			}
+			kr.ComponentsPS[Component(i).String()] = v
+			if agg.totalPS > 0 {
+				kr.Shares[Component(i).String()] = float64(v) / float64(agg.totalPS)
+			}
+			if v > agg.comp[dominant] {
+				dominant = Component(i)
+			}
+		}
+		kr.Dominant = dominant.String()
+		rep.Kinds[p.kindName(kind)] = kr
+	}
+	for i, v := range global {
+		rep.TotalPS += v
+		if v != 0 {
+			rep.ComponentsPS[Component(i).String()] = v
+		}
+	}
+	if rep.TotalPS > 0 {
+		for i, v := range global {
+			if v != 0 {
+				rep.Shares[Component(i).String()] = float64(v) / float64(rep.TotalPS)
+			}
+		}
+	}
+	return rep
+}
+
+// Shares returns the global component shares (fractions of total
+// attributed virtual time) across all completed requests. Post-run
+// measurement code (e.g. benchmark tables) is the intended caller.
+func (p *Profiler) Shares() map[string]float64 {
+	var global [numComponents]int64
+	var total int64
+	for _, agg := range p.kinds {
+		for i, v := range agg.comp {
+			global[i] += v
+			total += v
+		}
+	}
+	out := make(map[string]float64, numComponents)
+	for i, v := range global {
+		if total > 0 {
+			out[Component(i).String()] = float64(v) / float64(total)
+		} else {
+			out[Component(i).String()] = 0
+		}
+	}
+	return out
+}
+
+// WriteJSON writes the indented stable-JSON attribution report.
+func (p *Profiler) WriteJSON(w io.Writer) error {
+	b, err := json.MarshalIndent(p.Report(), "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}
+
+// WriteFolded writes folded-stack flamegraph lines in the form
+//
+//	component;structure;kind <virtual time in ps>
+//
+// loadable by speedscope or FlameGraph's flamegraph.pl. Lines are
+// sorted lexicographically so output is deterministic.
+func (p *Profiler) WriteFolded(w io.Writer) error {
+	structure := p.opt.Structure
+	if structure == "" {
+		structure = "sim"
+	}
+	lines := make([]string, 0, len(p.kinds)*numComponents)
+	for kind, agg := range p.kinds {
+		name := p.kindName(kind)
+		for i, v := range agg.comp {
+			if v > 0 {
+				lines = append(lines,
+					fmt.Sprintf("%s;%s;%s %d", Component(i).String(), structure, name, v))
+			}
+		}
+	}
+	sort.Strings(lines)
+	for _, ln := range lines {
+		if _, err := io.WriteString(w, ln+"\n"); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -3,6 +3,8 @@ package sim
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
+	"strings"
 	"testing"
 )
 
@@ -87,6 +89,104 @@ func TestChromeTracerEmptyTraceIsValid(t *testing.T) {
 	}
 	if len(events) != 0 {
 		t.Fatalf("expected no events, got %d", len(events))
+	}
+}
+
+// TestChromeTracerAsyncSpanIDsUnique: every async message span ("b")
+// must carry a fresh id, and each id must be closed ("e") exactly once
+// — duplicated or recycled ids make Perfetto merge unrelated message
+// flights into one span.
+func TestChromeTracerAsyncSpanIDsUnique(t *testing.T) {
+	var buf bytes.Buffer
+	e, clients := echoSim(t, 4)
+	ct := NewChromeTracer(&buf, e)
+	e.SetTracer(ct)
+	runEcho(e, clients, 5*Microsecond)
+	if err := ct.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var events []map[string]interface{}
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatal(err)
+	}
+	begun := map[string]float64{} // id -> begin ts
+	ended := map[string]bool{}
+	for _, ev := range events {
+		id, _ := ev["id"].(string)
+		ts, _ := ev["ts"].(float64)
+		switch ev["ph"] {
+		case "b":
+			if _, dup := begun[id]; dup {
+				t.Fatalf("async span id %s begun twice", id)
+			}
+			begun[id] = ts
+		case "e":
+			if _, ok := begun[id]; !ok {
+				t.Fatalf("async span id %s ended without beginning", id)
+			}
+			if ended[id] {
+				t.Fatalf("async span id %s ended twice", id)
+			}
+			ended[id] = true
+			if ts < begun[id] {
+				t.Fatalf("async span id %s ends at %v before it begins at %v", id, ts, begun[id])
+			}
+		}
+	}
+	if len(begun) < 2 {
+		t.Fatalf("expected many async spans, saw %d", len(begun))
+	}
+	// Closed-loop clients always have one message in flight, so up to
+	// one span per client may legitimately still be open at cutoff.
+	if open := len(begun) - len(ended); open > 4 {
+		t.Errorf("%d async spans never ended; at most one in-flight message per client expected", open)
+	}
+}
+
+// recordingTracer logs every callback into a shared sequence so tests
+// can check MultiTracer's fan-out order.
+type recordingTracer struct {
+	name string
+	log  *[]string
+}
+
+func (r *recordingTracer) MessageSent(at Time, m Message) {
+	*r.log = append(*r.log, fmt.Sprintf("%s:sent:%d->%d@%d", r.name, m.From, m.To, at))
+}
+func (r *recordingTracer) MessageDelivered(at Time, m Message) {
+	*r.log = append(*r.log, fmt.Sprintf("%s:delivered:%d->%d@%d", r.name, m.From, m.To, at))
+}
+func (r *recordingTracer) HandlerDone(at Time, core CoreID, m Message, busy Time) {
+	*r.log = append(*r.log, fmt.Sprintf("%s:done:%d@%d", r.name, core, at))
+}
+
+// TestMultiTracerFanOutOrdering: MultiTracer must invoke its tracers in
+// slice order for every event, with no reordering or dropped fan-out —
+// the log must be a strict alternation a,b,a,b,… where each pair
+// describes the same event.
+func TestMultiTracerFanOutOrdering(t *testing.T) {
+	var log []string
+	a := &recordingTracer{name: "a", log: &log}
+	b := &recordingTracer{name: "b", log: &log}
+	e, clients := echoSim(t, 2)
+	e.SetTracer(MultiTracer{a, b})
+	runEcho(e, clients, 2*Microsecond)
+
+	if len(log) == 0 {
+		t.Fatal("no tracer callbacks recorded")
+	}
+	if len(log)%2 != 0 {
+		t.Fatalf("odd log length %d: some event did not fan out to both tracers", len(log))
+	}
+	for i := 0; i < len(log); i += 2 {
+		first, second := log[i], log[i+1]
+		if !strings.HasPrefix(first, "a:") || !strings.HasPrefix(second, "b:") {
+			t.Fatalf("fan-out out of order at %d: %q then %q", i, first, second)
+		}
+		if first[2:] != second[2:] {
+			t.Fatalf("tracers saw different events at %d: %q vs %q", i, first, second)
+		}
 	}
 }
 

@@ -39,6 +39,7 @@ func NewClient(e *Engine, makeRequest func(c *CPU, seq uint64) Message) *Client 
 func (cl *Client) Start() {
 	cl.CPU.Exec(func(c *CPU) {
 		cl.issuedAt = c.Clock()
+		c.ProfOpStart()
 		cl.send(c, cl.MakeRequest(c, cl.seq))
 	})
 }
@@ -58,11 +59,13 @@ func (cl *Client) onMessage(c *CPU, m Message) {
 	c.CountOp()
 	d := c.Clock() - cl.issuedAt
 	cl.Latency.Add(int64(d))
+	c.ProfOpEnd()
 	if met := c.eng.met; met != nil {
 		met.opLatency(cl.reqKind, d)
 	}
 	cl.seq++
 	cl.issuedAt = c.Clock()
+	c.ProfOpStart()
 	cl.send(c, cl.MakeRequest(c, cl.seq))
 }
 

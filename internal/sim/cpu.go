@@ -93,6 +93,9 @@ func (c *CPU) service() {
 		c.inbox = c.inbox[:0]
 		c.inboxHead = 0
 	}
+	if p := c.eng.prof; p != nil {
+		p.MsgConsumed(c.eng.now, m.pid, c.id, false)
+	}
 	c.runNow(func(c *CPU) {
 		if c.handler == nil {
 			panic(fmt.Sprintf("sim: CPU %d received message with no handler", c.id))
@@ -132,6 +135,18 @@ func (c *CPU) runNow(fn func(*CPU)) {
 	c.busyUntil = c.clock
 	c.Stats.Messages++
 	c.Stats.Busy += c.clock - start
+	if p := c.eng.prof; p != nil {
+		p.HandlerEnd(c.busyUntil, c.id)
+	}
+}
+
+// advance moves the local clock by d and reports the charge to the
+// profiler, if attached.
+func (c *CPU) advance(kind CostKind, d Time) {
+	c.clock += d
+	if p := c.eng.prof; p != nil && d > 0 {
+		p.Charge(c.clock, c.id, kind, d)
+	}
 }
 
 func (c *CPU) mustRun(op string) {
@@ -149,13 +164,13 @@ func (c *CPU) Clock() Time {
 // MemRead charges one memory load (Lcpu).
 func (c *CPU) MemRead() {
 	c.mustRun("MemRead")
-	c.clock += c.eng.cfg.Lcpu
+	c.advance(CostMemory, c.eng.cfg.Lcpu)
 }
 
 // MemWrite charges one memory store (Lcpu).
 func (c *CPU) MemWrite() {
 	c.mustRun("MemWrite")
-	c.clock += c.eng.cfg.Lcpu
+	c.advance(CostMemory, c.eng.cfg.Lcpu)
 }
 
 // MemReadN charges n memory loads.
@@ -164,25 +179,25 @@ func (c *CPU) MemReadN(n int) {
 	if n < 0 {
 		panic("sim: negative access count")
 	}
-	c.clock += Time(n) * c.eng.cfg.Lcpu
+	c.advance(CostMemory, Time(n)*c.eng.cfg.Lcpu)
 }
 
 // LLCRead charges one last-level-cache load (Lllc).
 func (c *CPU) LLCRead() {
 	c.mustRun("LLCRead")
-	c.clock += c.eng.cfg.Lllc
+	c.advance(CostMemory, c.eng.cfg.Lllc)
 }
 
 // LLCWrite charges one last-level-cache store (Lllc).
 func (c *CPU) LLCWrite() {
 	c.mustRun("LLCWrite")
-	c.clock += c.eng.cfg.Lllc
+	c.advance(CostMemory, c.eng.cfg.Lllc)
 }
 
 // Local charges one L1/bookkeeping step (Epsilon).
 func (c *CPU) Local() {
 	c.mustRun("Local")
-	c.clock += c.eng.cfg.Epsilon
+	c.advance(CostService, c.eng.cfg.Epsilon)
 }
 
 // Compute charges d of pure computation.
@@ -191,7 +206,7 @@ func (c *CPU) Compute(d Time) {
 	if d < 0 {
 		panic("sim: negative compute time")
 	}
-	c.clock += d
+	c.advance(CostService, d)
 }
 
 // Atomic performs one atomic operation (CAS, F&A, …) on line,
@@ -199,14 +214,24 @@ func (c *CPU) Compute(d Time) {
 // CPU blocks until its atomic completes.
 func (c *CPU) Atomic(line *AtomicLine) {
 	c.mustRun("Atomic")
-	c.clock = line.acquire(c.clock, c.eng.cfg.Latomic)
+	done := line.acquire(c.clock, c.eng.cfg.Latomic)
+	if p := c.eng.prof; p != nil {
+		cost := c.eng.cfg.Latomic
+		if wait := done - cost - c.clock; wait > 0 {
+			p.Charge(done-cost, c.id, CostAtomicWait, wait)
+		}
+		if cost > 0 {
+			p.Charge(done, c.id, CostAtomic, cost)
+		}
+	}
+	c.clock = done
 }
 
 // Send transmits m (stamped From = this CPU) without blocking.
 func (c *CPU) Send(m Message) {
 	c.mustRun("Send")
 	m.From = c.id
-	c.clock += c.eng.cfg.Epsilon
+	c.advance(CostService, c.eng.cfg.Epsilon)
 	c.eng.send(c.clock, m)
 }
 

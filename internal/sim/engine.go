@@ -51,6 +51,13 @@ type Engine struct {
 	met       *simMetrics
 	kindName  func(kind int) string
 
+	// prof, when non-nil, receives fine-grained virtual-time events.
+	// profSeq numbers messages so the profiler can correlate sends
+	// with deliveries and consumptions; it only advances while a
+	// profiler is attached.
+	prof    Profiler
+	profSeq uint64
+
 	// channels tracks per (sender, receiver) FIFO delivery state so
 	// that the "messages from the same sender to the same receiver
 	// are delivered in FIFO order" guarantee of Section 2 holds even

@@ -28,6 +28,14 @@ type Message struct {
 	// need more than a cache line of payload (e.g. migration batches)
 	// must send one message per cache-line-sized chunk instead.
 	Payload interface{}
+
+	// pid is the engine-assigned profiler message id. It is zero (and
+	// never assigned) unless a profiler is attached, is invisible to
+	// protocol code, and exists only so the profiler can correlate a
+	// send with its delivery and consumption. Protocol code that
+	// copies a message into a fresh reply naturally drops it, which is
+	// exactly right: a reply is a new message.
+	pid uint64
 }
 
 // endpoint is anything registered with the engine that can receive
@@ -91,10 +99,18 @@ func (e *Engine) send(sentAt Time, m Message) {
 	if e.tracer != nil {
 		e.tracer.MessageSent(sentAt, m)
 	}
+	if e.prof != nil {
+		e.profSeq++
+		m.pid = e.profSeq
+		e.prof.MsgSent(sentAt, m.pid, m)
+	}
 	dst := e.lookup(m.To)
 	e.Schedule(arrival, func() {
 		if e.tracer != nil {
 			e.tracer.MessageDelivered(arrival, m)
+		}
+		if e.prof != nil && m.pid != 0 {
+			e.prof.MsgDelivered(arrival, m.pid, m)
 		}
 		dst.deliver(m)
 	})

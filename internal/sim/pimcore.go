@@ -121,6 +121,9 @@ func (c *PIMCore) service() {
 	if c.handler == nil {
 		panic(fmt.Sprintf("sim: PIM core %d received message with no handler", c.id))
 	}
+	if p := c.eng.prof; p != nil {
+		p.MsgConsumed(start, m.pid, c.id, false)
+	}
 	c.handler(c, m)
 	c.running = false
 	c.busyUntil = c.clock
@@ -128,6 +131,9 @@ func (c *PIMCore) service() {
 	c.Stats.Busy += c.clock - start
 	if c.eng.tracer != nil {
 		c.eng.tracer.HandlerDone(c.clock, c.id, m, c.clock-start)
+	}
+	if p := c.eng.prof; p != nil {
+		p.HandlerEnd(c.clock, c.id)
 	}
 	c.maybeSchedule()
 }
@@ -146,17 +152,26 @@ func (c *PIMCore) Clock() Time {
 	return c.clock
 }
 
+// advance moves the local clock by d and reports the charge to the
+// profiler, if attached.
+func (c *PIMCore) advance(kind CostKind, d Time) {
+	c.clock += d
+	if p := c.eng.prof; p != nil && d > 0 {
+		p.Charge(c.clock, c.id, kind, d)
+	}
+}
+
 // Read charges one local-vault load (Lpim).
 func (c *PIMCore) Read() {
 	c.mustRun("Read")
-	c.clock += c.eng.cfg.Lpim
+	c.advance(CostMemory, c.eng.cfg.Lpim)
 	c.vault.Reads++
 }
 
 // Write charges one local-vault store (Lpim).
 func (c *PIMCore) Write() {
 	c.mustRun("Write")
-	c.clock += c.eng.cfg.Lpim
+	c.advance(CostMemory, c.eng.cfg.Lpim)
 	c.vault.Writes++
 }
 
@@ -166,7 +181,7 @@ func (c *PIMCore) Write() {
 func (c *PIMCore) RemoteRead(v *Vault) {
 	c.mustRun("RemoteRead")
 	c.remoteCheck(v)
-	c.clock += c.eng.cfg.LpimRemote
+	c.advance(CostMemory, c.eng.cfg.LpimRemote)
 	v.Reads++
 }
 
@@ -174,7 +189,7 @@ func (c *PIMCore) RemoteRead(v *Vault) {
 func (c *PIMCore) RemoteWrite(v *Vault) {
 	c.mustRun("RemoteWrite")
 	c.remoteCheck(v)
-	c.clock += c.eng.cfg.LpimRemote
+	c.advance(CostMemory, c.eng.cfg.LpimRemote)
 	v.Writes++
 }
 
@@ -199,7 +214,7 @@ func (c *PIMCore) ReadN(n int) {
 // raised to study sensitivity.
 func (c *PIMCore) Local() {
 	c.mustRun("Local")
-	c.clock += c.eng.cfg.Epsilon
+	c.advance(CostService, c.eng.cfg.Epsilon)
 }
 
 // Compute charges d of pure computation.
@@ -208,7 +223,7 @@ func (c *PIMCore) Compute(d Time) {
 	if d < 0 {
 		panic("sim: negative compute time")
 	}
-	c.clock += d
+	c.advance(CostService, d)
 }
 
 // Send transmits m (stamped From = this core) without waiting for
@@ -217,7 +232,7 @@ func (c *PIMCore) Compute(d Time) {
 func (c *PIMCore) Send(m Message) {
 	c.mustRun("Send")
 	m.From = c.id
-	c.clock += c.eng.cfg.Epsilon
+	c.advance(CostService, c.eng.cfg.Epsilon)
 	c.eng.send(c.clock, m)
 }
 
@@ -233,9 +248,13 @@ func (c *PIMCore) CountOp() { c.Stats.Ops++ }
 func (c *PIMCore) TakeQueued(dst []Message, limit int) []Message {
 	c.mustRun("TakeQueued")
 	for (limit < 0 || limit > 0) && c.inboxHead < len(c.inbox) {
-		dst = append(dst, c.inbox[c.inboxHead])
+		m := c.inbox[c.inboxHead]
+		dst = append(dst, m)
 		c.inboxHead++
-		c.clock += c.eng.cfg.Epsilon
+		if p := c.eng.prof; p != nil {
+			p.MsgConsumed(c.clock, m.pid, c.id, true)
+		}
+		c.advance(CostService, c.eng.cfg.Epsilon)
 		if limit > 0 {
 			limit--
 		}
