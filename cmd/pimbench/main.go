@@ -7,6 +7,7 @@
 //	pimbench -exp fig2 [-format csv] [-quick]
 //	pimbench -exp fig2,latency -json BENCH.json
 //	pimbench -exp all -r1 3 -r2 3 -r3 1
+//	pimbench -exp fig4-host -dist zipf:1.3
 //
 // Simulator experiments run in virtual time and are deterministic;
 // host experiments (-exp fig2-host, fig4-host, queue-host) measure the
@@ -43,6 +44,7 @@ func main() {
 		threads  = flag.Int("host-threads", runtime.GOMAXPROCS(0)*4, "max threads for host experiments")
 		hostDur  = flag.Duration("host-measure", 300*time.Millisecond, "host measurement window per point")
 		seed     = flag.Int64("seed", 0, "workload seed for simulator experiments (0 = historical streams)")
+		dist     = flag.String("dist", "uniform", "key distribution for host set experiments: uniform | zipf[:S] | hot[:H/F]")
 		jsonPath = flag.String("json", "", "also write results as machine-readable JSON to this file ('-' = stdout)")
 	)
 	flag.Parse()
@@ -64,8 +66,14 @@ func main() {
 		HostThreads: *threads,
 		HostMeasure: *hostDur,
 		Seed:        *seed,
+		Dist:        *dist,
 	}
 	if err := opts.Params.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	// Validate -dist up front (experiments resolve it per key space).
+	if _, err := harness.ParseKeyDist(*dist, 1<<16); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}

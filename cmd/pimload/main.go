@@ -1,0 +1,99 @@
+// Command pimload generates network load against a pimserve instance
+// and reports throughput and client-observed latency percentiles.
+//
+// Usage:
+//
+//	pimload -addr 127.0.0.1:7070 -conns 64 -pipeline 16 -duration 5s
+//	pimload -addr 127.0.0.1:7070 -dist zipf:1.3 -mix 90/5/5 -json out.json
+//	pimload -addr 127.0.0.1:7070 -structure queue -rate 200000
+//
+// By default it runs closed-loop (each connection keeps -pipeline ops
+// outstanding); -rate switches to open-loop injection at a fixed total
+// ops/s. -json writes a benchfmt report so benchdiff can compare runs.
+package main
+
+//pimvet:allow-file determinism: load-generator binary measures wall-clock round trips against a live server; key streams remain seeded
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"pimds/internal/harness"
+	"pimds/internal/loadgen"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", "127.0.0.1:7070", "pimserve TCP address")
+		structure = flag.String("structure", "set", "op family: set|queue|stack (must match the server's structure)")
+		conns     = flag.Int("conns", 64, "concurrent connections")
+		pipeline  = flag.Int("pipeline", 16, "ops outstanding per connection")
+		rate      = flag.Float64("rate", 0, "open-loop target ops/s across all conns (0 = closed loop)")
+		duration  = flag.Duration("duration", 5*time.Second, "injection duration")
+		keys      = flag.Int64("keys", 1<<16, "key space (must be within the server's -keyspace)")
+		dist      = flag.String("dist", "uniform", "key distribution: uniform | zipf[:S] | hot[:H/F]")
+		mixSpec   = flag.String("mix", "0/50/50", "set mix contains/add/remove in percent")
+		seed      = flag.Int64("seed", 1, "key-stream seed")
+		preload   = flag.Bool("preload", false, "fill the set to half occupancy before measuring")
+		jsonPath  = flag.String("json", "", "write the benchfmt report here ('-' = stdout)")
+	)
+	flag.Parse()
+
+	kd, err := harness.ParseKeyDist(*dist, *keys)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	var mix harness.Mix
+	if _, err := fmt.Sscanf(*mixSpec, "%d/%d/%d", &mix.ContainsPct, &mix.AddPct, &mix.RemovePct); err != nil {
+		fmt.Fprintf(os.Stderr, "pimload: bad -mix %q (want C/A/R, e.g. 90/5/5)\n", *mixSpec)
+		os.Exit(2)
+	}
+	if err := mix.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	cfg := loadgen.Config{
+		Addr:      *addr,
+		Structure: *structure,
+		Conns:     *conns,
+		Pipeline:  *pipeline,
+		Rate:      *rate,
+		Duration:  *duration,
+		Dist:      kd,
+		Mix:       mix,
+		Seed:      *seed,
+	}
+	if *preload {
+		if err := loadgen.Preload(cfg); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	res, err := loadgen.Run(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Println(res)
+
+	if *jsonPath != "" {
+		w := os.Stdout
+		if *jsonPath != "-" {
+			f, err := os.Create(*jsonPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			w = f
+		}
+		if err := res.Report().Write(w); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+}

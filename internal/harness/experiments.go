@@ -42,6 +42,12 @@ type Options struct {
 	// experiments measure wall-clock time and are not reproducible
 	// regardless of seed.
 	Seed int64
+	// Dist selects the key distribution for the host-emulation set
+	// experiments ("" = uniform; see ParseKeyDist for the spec syntax).
+	// Simulator experiments keep their historical streams: the paper's
+	// tables assume uniform keys, and skew there is studied by the
+	// dedicated rebalance experiment.
+	Dist string
 }
 
 // DefaultOptions returns the standard configuration.
@@ -82,6 +88,17 @@ func (o Options) hostSweep() []int {
 		}
 	}
 	return ps
+}
+
+// keyDist resolves the Dist spec over a key space. The binaries
+// validate -dist up front, so a bad spec reaching this point is a
+// programming error.
+func (o Options) keyDist(space int64) KeyDist {
+	kd, err := ParseKeyDist(o.Dist, space)
+	if err != nil {
+		panic(err)
+	}
+	return kd
 }
 
 func (o Options) hostMeasure() time.Duration {
@@ -276,12 +293,13 @@ func Fig2HostExp(o Options) []*Table {
 	measure := o.hostMeasure()
 	warmup := measure / 5
 	r1 := o.Params.R1
+	kd := o.keyDist(keySpace)
 
 	t := &Table{
 		Title: fmt.Sprintf("Figure 2 — linked-list throughput vs threads (n≈%d, host emulation)", keySpace/2),
 		Columns: []string{"threads", "fine-grained locks", "FC", "FC+combining",
 			"PIM est (r1·FC)", "PIM+combining est (r1·FC+comb)"},
-		Note: "host goroutines; PIM columns are the paper's r1-scaled estimates",
+		Note: "host goroutines; PIM columns are the paper's r1-scaled estimates; keys: " + kd.Name(),
 	}
 	for _, p := range o.hostSweep() {
 		// Build the shared list before spawning workers: worker
@@ -291,18 +309,18 @@ func Fig2HostExp(o Options) []*Table {
 			l.Add(k)
 		}
 		fgl := HostThroughput(p, warmup, measure, func(tid int, rng *rand.Rand) func() {
-			return func() { hostListOp(l, rng, keySpace) }
+			return func() { hostListOp(l, rng, kd) }
 		})
 
-		fc := hostFCList(false, p, warmup, measure, keySpace)
-		fcc := hostFCList(true, p, warmup, measure, keySpace)
+		fc := hostFCList(false, p, warmup, measure, keySpace, kd)
+		fcc := hostFCList(true, p, warmup, measure, keySpace, kd)
 		t.AddRow(p, fgl, fc, fcc, r1*fc, r1*fcc)
 	}
 	return []*Table{t}
 }
 
-func hostListOp(l *lazylist.List, rng *rand.Rand, keySpace int64) {
-	k := rng.Int63n(keySpace)
+func hostListOp(l *lazylist.List, rng *rand.Rand, kd KeyDist) {
+	k := kd.Next(rng)
 	if rng.Intn(2) == 0 {
 		l.Add(k)
 	} else {
@@ -310,7 +328,7 @@ func hostListOp(l *lazylist.List, rng *rand.Rand, keySpace int64) {
 	}
 }
 
-func hostFCList(combining bool, p int, warmup, measure time.Duration, keySpace int64) float64 {
+func hostFCList(combining bool, p int, warmup, measure time.Duration, keySpace int64, kd KeyDist) float64 {
 	l := fclist.New(combining)
 	h := l.NewHandle()
 	for _, k := range PreloadKeys(keySpace) {
@@ -319,7 +337,7 @@ func hostFCList(combining bool, p int, warmup, measure time.Duration, keySpace i
 	return HostThroughput(p, warmup, measure, func(tid int, rng *rand.Rand) func() {
 		handle := l.NewHandle()
 		return func() {
-			k := rng.Int63n(keySpace)
+			k := kd.Next(rng)
 			if rng.Intn(2) == 0 {
 				handle.Add(k)
 			} else {
@@ -365,12 +383,13 @@ func Fig4HostExp(o Options) []*Table {
 	measure := o.hostMeasure()
 	warmup := measure / 5
 	r1 := o.Params.R1
+	kd := o.keyDist(keySpace)
 
 	t := &Table{
 		Title: "Figure 4 — skip-list throughput vs threads (host emulation)",
 		Columns: []string{"threads", "lock-free", "FC k=1", "FC k=4", "FC k=8", "FC k=16",
 			"PIM k=8 est", "PIM k=16 est"},
-		Note: "host goroutines; PIM columns are r1-scaled FC measurements",
+		Note: "host goroutines; PIM columns are r1-scaled FC measurements; keys: " + kd.Name(),
 	}
 	for _, p := range o.hostSweep() {
 		lf := func() float64 {
@@ -380,7 +399,7 @@ func Fig4HostExp(o Options) []*Table {
 			}
 			return HostThroughput(p, warmup, measure, func(tid int, rng *rand.Rand) func() {
 				return func() {
-					k := rng.Int63n(keySpace)
+					k := kd.Next(rng)
 					if rng.Intn(2) == 0 {
 						l.Add(k)
 					} else {
@@ -398,7 +417,7 @@ func Fig4HostExp(o Options) []*Table {
 			return HostThroughput(p, warmup, measure, func(tid int, rng *rand.Rand) func() {
 				handle := l.NewHandle()
 				return func() {
-					key := rng.Int63n(keySpace)
+					key := kd.Next(rng)
 					if rng.Intn(2) == 0 {
 						handle.Add(key)
 					} else {

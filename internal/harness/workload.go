@@ -8,6 +8,8 @@ package harness
 import (
 	"fmt"
 	"math/rand"
+	"strconv"
+	"strings"
 
 	"pimds/internal/cds/seqlist"
 	"pimds/internal/cds/seqskip"
@@ -134,6 +136,51 @@ func (z Zipf) Space() int64 { return z.N }
 
 // Name describes the distribution.
 func (z Zipf) Name() string { return fmt.Sprintf("zipf(s=%.2f)[0,%d)", z.S, z.N) }
+
+// ParseKeyDist parses a key-distribution spec shared by the pimbench
+// -dist and pimload -dist flags:
+//
+//	uniform          uniform over [0, space)
+//	zipf             Zipf with the default skew s=1.2
+//	zipf:S           Zipf with skew exponent S (> 1)
+//	hot:H/F          H% of keys in the first F% of the space
+//
+// Every distribution is seeded through the generator's rng, so the
+// same (seed, spec) pair reproduces the same key stream.
+func ParseKeyDist(spec string, space int64) (KeyDist, error) {
+	if space < 2 {
+		return nil, fmt.Errorf("harness: key space %d too small", space)
+	}
+	name, arg, _ := strings.Cut(spec, ":")
+	switch name {
+	case "", "uniform":
+		return Uniform{N: space}, nil
+	case "zipf":
+		s := 1.2
+		if arg != "" {
+			var err error
+			if s, err = strconv.ParseFloat(arg, 64); err != nil {
+				return nil, fmt.Errorf("harness: bad zipf skew %q: %v", arg, err)
+			}
+		}
+		if s <= 1 {
+			return nil, fmt.Errorf("harness: zipf skew must be > 1, got %g", s)
+		}
+		return Zipf{N: space, S: s}, nil
+	case "hot":
+		hot, frac := 90, 10
+		if arg != "" {
+			if _, err := fmt.Sscanf(arg, "%d/%d", &hot, &frac); err != nil {
+				return nil, fmt.Errorf("harness: bad hot spec %q (want H/F, e.g. hot:90/10): %v", arg, err)
+			}
+		}
+		if hot < 0 || hot > 100 || frac < 1 || frac > 100 {
+			return nil, fmt.Errorf("harness: hot spec %d/%d out of range", hot, frac)
+		}
+		return HotRange{N: space, HotPct: hot, FracPct: frac}, nil
+	}
+	return nil, fmt.Errorf("harness: unknown key distribution %q (want uniform, zipf[:S] or hot[:H/F])", spec)
+}
 
 // Generator produces a deterministic operation stream.
 type Generator struct {

@@ -1,0 +1,90 @@
+package harness
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestParseKeyDist(t *testing.T) {
+	const space = 1 << 10
+	cases := []struct {
+		spec string
+		want string
+		ok   bool
+	}{
+		{"uniform", "uniform[0,1024)", true},
+		{"", "uniform[0,1024)", true},
+		{"zipf", "zipf(s=1.20)[0,1024)", true},
+		{"zipf:1.5", "zipf(s=1.50)[0,1024)", true},
+		{"hot", "hot[90%→10% of 1024]", true},
+		{"hot:80/20", "hot[80%→20% of 1024]", true},
+		{"zipf:1.0", "", false}, // skew must be > 1
+		{"zipf:x", "", false},
+		{"hot:120/10", "", false},
+		{"hot:90/0", "", false},
+		{"hot:banana", "", false},
+		{"pareto", "", false},
+	}
+	for _, c := range cases {
+		kd, err := ParseKeyDist(c.spec, space)
+		if c.ok != (err == nil) {
+			t.Errorf("ParseKeyDist(%q): err=%v, want ok=%v", c.spec, err, c.ok)
+			continue
+		}
+		if c.ok && kd.Name() != c.want {
+			t.Errorf("ParseKeyDist(%q) = %s, want %s", c.spec, kd.Name(), c.want)
+		}
+	}
+	if _, err := ParseKeyDist("uniform", 1); err == nil {
+		t.Error("ParseKeyDist accepted a degenerate key space")
+	}
+}
+
+func TestParsedDistsAreDeterministic(t *testing.T) {
+	const space = 1 << 12
+	for _, spec := range []string{"uniform", "zipf:1.3", "hot:90/10"} {
+		draw := func() []int64 {
+			kd, err := ParseKeyDist(spec, space)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(42))
+			keys := make([]int64, 200)
+			for i := range keys {
+				keys[i] = kd.Next(rng)
+				if keys[i] < 0 || keys[i] >= space {
+					t.Fatalf("%s: key %d outside [0,%d)", spec, keys[i], space)
+				}
+			}
+			return keys
+		}
+		a, b := draw(), draw()
+		for i := range a {
+			if a[i] != b[i] {
+				t.Errorf("%s: key stream diverged at %d (%d vs %d) for the same seed", spec, i, a[i], b[i])
+				break
+			}
+		}
+	}
+}
+
+func TestZipfIsSkewed(t *testing.T) {
+	const space = 1 << 12
+	kd, err := ParseKeyDist("zipf:1.2", space)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	const n = 20000
+	low := 0
+	for i := 0; i < n; i++ {
+		if kd.Next(rng) < space/10 {
+			low++
+		}
+	}
+	// Uniform would put ~10% in the bottom decile; zipf(1.2) puts the
+	// overwhelming majority there.
+	if frac := float64(low) / n; frac < 0.5 {
+		t.Errorf("zipf bottom-decile mass %.2f, want ≥ 0.5 (uniform would be 0.10)", frac)
+	}
+}

@@ -1,0 +1,484 @@
+// Package loadgen is the traffic engine behind cmd/pimload: it drives
+// a pimserve instance over the wire protocol from many concurrent
+// connections, in closed loop (each connection keeps a fixed pipeline
+// of operations outstanding) or open loop (operations are injected on
+// a fixed schedule regardless of responses), and reports throughput
+// plus client-observed latency percentiles in benchfmt form so
+// benchdiff can compare runs.
+package loadgen
+
+//pimvet:allow-file determinism: a network load generator measures real wall-clock round trips by definition; key streams stay seeded/deterministic, only timing is physical
+
+import (
+	"bufio"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pimds/internal/benchfmt"
+	"pimds/internal/harness"
+	"pimds/internal/obs"
+	"pimds/internal/wire"
+)
+
+// Structure families a load can target (the server's list/skip/hash
+// all speak "set").
+const (
+	StructSet   = "set"
+	StructQueue = "queue"
+	StructStack = "stack"
+)
+
+// Config configures one load run.
+type Config struct {
+	// Addr is the pimserve TCP address.
+	Addr string
+	// Structure selects the op family: set, queue or stack.
+	Structure string
+	// Conns is the number of concurrent connections. Default 1.
+	Conns int
+	// Pipeline is the operations kept outstanding per connection: the
+	// closed-loop batch size, or the open-loop outstanding cap.
+	// Default 1.
+	Pipeline int
+	// Rate, when > 0, switches to open loop at this total target
+	// ops/s across all connections.
+	Rate float64
+	// Duration is how long to inject load. Default 1s.
+	Duration time.Duration
+	// Dist generates keys (sets) or values (queue/stack pushes).
+	// Default Uniform over [0, 65536).
+	Dist harness.KeyDist
+	// Mix is the set operation mix; ignored for queue/stack, which
+	// split 50/50 between insert and delete ends. Default Balanced.
+	Mix harness.Mix
+	// Seed makes the key streams reproducible (connection i uses
+	// Seed+i). Timing, of course, is not.
+	Seed int64
+	// DialTimeout bounds each connection attempt. Default 5s.
+	DialTimeout time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Structure == "" {
+		c.Structure = StructSet
+	}
+	if c.Conns == 0 {
+		c.Conns = 1
+	}
+	if c.Pipeline == 0 {
+		c.Pipeline = 1
+	}
+	if c.Duration == 0 {
+		c.Duration = time.Second
+	}
+	if c.Dist == nil {
+		c.Dist = harness.Uniform{N: 1 << 16}
+	}
+	if c.Mix == (harness.Mix{}) {
+		c.Mix = harness.Balanced()
+	}
+	if c.DialTimeout == 0 {
+		c.DialTimeout = 5 * time.Second
+	}
+	return c
+}
+
+// Result is the outcome of one run.
+type Result struct {
+	Cfg     Config
+	Ops     uint64        // completed operations (responses received)
+	Errors  uint64        // responses with a non-OK status
+	Elapsed time.Duration // first send to last response
+	Latency *obs.Histogram
+}
+
+// OpsPerSec returns the aggregate throughput.
+func (r *Result) OpsPerSec() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Ops) / r.Elapsed.Seconds()
+}
+
+// mode describes the loop discipline for reports.
+func (r *Result) mode() string {
+	if r.Cfg.Rate > 0 {
+		return fmt.Sprintf("open@%.0f/s", r.Cfg.Rate)
+	}
+	return "closed"
+}
+
+// String renders the one-line summary cmd/pimload prints (and CI
+// greps).
+func (r *Result) String() string {
+	p50, p95, p99 := r.Latency.Percentiles()
+	return fmt.Sprintf("pimload: %d ops in %.2fs = %.0f ops/s (%s, %d conns, pipeline %d; p50=%s p95=%s p99=%s; %d errors)",
+		r.Ops, r.Elapsed.Seconds(), r.OpsPerSec(), r.mode(), r.Cfg.Conns, r.Cfg.Pipeline,
+		time.Duration(p50), time.Duration(p95), time.Duration(p99), r.Errors)
+}
+
+// Report renders the run as a benchfmt report comparable by benchdiff.
+func (r *Result) Report() *benchfmt.Report {
+	p50, p95, p99 := r.Latency.Percentiles()
+	tab := benchfmt.Table{
+		Title:   fmt.Sprintf("pimload — %s workload", r.Cfg.Structure),
+		Note:    fmt.Sprintf("dist %s, addr %s", r.Cfg.Dist.Name(), r.Cfg.Addr),
+		Columns: []string{"conns", "mode", "pipeline", "ops/s", "p50 latency", "p95 latency", "p99 latency", "errors"},
+		Rows: [][]string{{
+			fmt.Sprint(r.Cfg.Conns),
+			r.mode(),
+			fmt.Sprint(r.Cfg.Pipeline),
+			fmt.Sprintf("%.0f", r.OpsPerSec()),
+			time.Duration(p50).String(),
+			time.Duration(p95).String(),
+			time.Duration(p99).String(),
+			fmt.Sprint(r.Errors),
+		}},
+	}
+	return &benchfmt.Report{
+		Name:   "pimload",
+		Params: benchfmt.Params{Seed: r.Cfg.Seed},
+		Experiments: []benchfmt.ExperimentResult{{
+			ID:          "pimload",
+			Description: "network load against pimserve",
+			Tables:      []benchfmt.Table{tab},
+		}},
+	}
+}
+
+// opStream yields the wire ops for one connection, deterministically
+// from the connection's seed.
+type opStream struct {
+	structure string
+	gen       *harness.Generator
+	nextID    uint64
+}
+
+func newOpStream(cfg Config, conn int) *opStream {
+	return &opStream{
+		structure: cfg.Structure,
+		gen:       harness.NewGenerator(cfg.Seed+int64(conn)*7919, cfg.Dist, cfg.Mix),
+	}
+}
+
+// next returns the next operation. For queue/stack the set mix maps
+// onto the two ends: Add→Enqueue/Push (the key is the value),
+// everything else alternates Dequeue/Pop.
+func (st *opStream) next() wire.Op {
+	o := st.gen.Next()
+	op := wire.Op{ID: st.nextID, Key: o.Key}
+	st.nextID++
+	switch st.structure {
+	case StructQueue:
+		if o.Kind == harness.Add {
+			op.Kind = wire.Enqueue
+		} else {
+			op.Kind = wire.Dequeue
+		}
+	case StructStack:
+		if o.Kind == harness.Add {
+			op.Kind = wire.Push
+		} else {
+			op.Kind = wire.Pop
+		}
+	default:
+		switch o.Kind {
+		case harness.Contains:
+			op.Kind = wire.Contains
+		case harness.Add:
+			op.Kind = wire.Add
+		default:
+			op.Kind = wire.Remove
+		}
+	}
+	return op
+}
+
+// Run executes the configured load and blocks until every connection
+// has drained its outstanding operations.
+func Run(cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Structure != StructSet && cfg.Structure != StructQueue && cfg.Structure != StructStack {
+		return nil, fmt.Errorf("loadgen: unknown structure %q (want set|queue|stack)", cfg.Structure)
+	}
+	if err := cfg.Mix.Validate(); err != nil {
+		return nil, err
+	}
+
+	conns := make([]net.Conn, cfg.Conns)
+	for i := range conns {
+		nc, err := net.DialTimeout("tcp", cfg.Addr, cfg.DialTimeout)
+		if err != nil {
+			for _, c := range conns[:i] {
+				c.Close()
+			}
+			return nil, fmt.Errorf("loadgen: dial %s: %w", cfg.Addr, err)
+		}
+		conns[i] = nc
+	}
+
+	res := &Result{Cfg: cfg, Latency: &obs.Histogram{}}
+	var (
+		ops    atomic.Uint64
+		errs   atomic.Uint64
+		stop   = make(chan struct{})
+		wg     sync.WaitGroup
+		runErr atomic.Value
+	)
+	start := time.Now()
+	time.AfterFunc(cfg.Duration, func() { close(stop) })
+	for i, nc := range conns {
+		wg.Add(1)
+		go func(i int, nc net.Conn) {
+			defer wg.Done()
+			defer nc.Close()
+			var err error
+			if cfg.Rate > 0 {
+				err = openLoop(cfg, newOpStream(cfg, i), nc, stop, &ops, &errs, res.Latency)
+			} else {
+				err = closedLoop(cfg, newOpStream(cfg, i), nc, stop, &ops, &errs, res.Latency)
+			}
+			if err != nil {
+				runErr.CompareAndSwap(nil, err)
+			}
+		}(i, nc)
+	}
+	wg.Wait()
+	res.Elapsed = time.Since(start)
+	res.Ops = ops.Load()
+	res.Errors = errs.Load()
+	if err, _ := runErr.Load().(error); err != nil {
+		return res, err
+	}
+	return res, nil
+}
+
+// closedLoop keeps exactly Pipeline operations outstanding: send one
+// request frame of Pipeline ops, wait for all responses, repeat.
+func closedLoop(cfg Config, st *opStream, nc net.Conn, stop <-chan struct{}, ops, errs *atomic.Uint64, lat *obs.Histogram) error {
+	br := bufio.NewReaderSize(nc, 64<<10)
+	bw := bufio.NewWriterSize(nc, 64<<10)
+	batch := make([]wire.Op, cfg.Pipeline)
+	var out, payload []byte
+	var results []wire.Result
+	var err error
+	for {
+		select {
+		case <-stop:
+			return nil
+		default:
+		}
+		for i := range batch {
+			batch[i] = st.next()
+		}
+		out, err = wire.AppendRequest(out[:0], batch)
+		if err != nil {
+			return err
+		}
+		t0 := time.Now()
+		if _, err := bw.Write(out); err != nil {
+			return fmt.Errorf("loadgen: write: %w", err)
+		}
+		if err := bw.Flush(); err != nil {
+			return fmt.Errorf("loadgen: flush: %w", err)
+		}
+		for seen := 0; seen < len(batch); {
+			payload, err = wire.ReadFrame(br, payload[:0])
+			if err != nil {
+				return fmt.Errorf("loadgen: read: %w", err)
+			}
+			results, err = wire.DecodeResponse(payload, results[:0])
+			if err != nil {
+				return err
+			}
+			d := time.Since(t0).Nanoseconds()
+			for _, r := range results {
+				lat.Observe(d)
+				ops.Add(1)
+				if r.Status != wire.StatusOK {
+					errs.Add(1)
+				}
+			}
+			seen += len(results)
+		}
+	}
+}
+
+// openLoop injects one op every interval (the per-connection share of
+// cfg.Rate), capping outstanding ops at Pipeline × 64 so a stalled
+// server degrades to closed-loop instead of unbounded queueing
+// (coordinated omission applies past that point, as with any bounded
+// injector).
+func openLoop(cfg Config, st *opStream, nc net.Conn, stop <-chan struct{}, ops, errs *atomic.Uint64, lat *obs.Histogram) error {
+	perConn := cfg.Rate / float64(cfg.Conns)
+	if perConn <= 0 {
+		return fmt.Errorf("loadgen: open-loop rate %.1f too low for %d conns", cfg.Rate, cfg.Conns)
+	}
+	interval := time.Duration(float64(time.Second) / perConn)
+	maxOut := cfg.Pipeline * 64
+
+	var (
+		mu    sync.Mutex
+		sent  = make(map[uint64]time.Time, maxOut)
+		slots = make(chan struct{}, maxOut)
+		wErr  atomic.Value
+		done  = make(chan struct{}) // reader saw EOF (or failed)
+	)
+
+	// Reader: match responses to send times.
+	go func() {
+		defer close(done)
+		br := bufio.NewReaderSize(nc, 64<<10)
+		var payload []byte
+		var results []wire.Result
+		var err error
+		for {
+			payload, err = wire.ReadFrame(br, payload[:0])
+			if err != nil {
+				wErr.CompareAndSwap(nil, fmt.Errorf("loadgen: read: %w", err))
+				return
+			}
+			results, err = wire.DecodeResponse(payload, results[:0])
+			if err != nil {
+				wErr.CompareAndSwap(nil, err)
+				return
+			}
+			now := time.Now()
+			mu.Lock()
+			for _, r := range results {
+				if t0, ok := sent[r.ID]; ok {
+					delete(sent, r.ID)
+					lat.Observe(now.Sub(t0).Nanoseconds())
+					ops.Add(1)
+					if r.Status != wire.StatusOK {
+						errs.Add(1)
+					}
+					<-slots
+				}
+			}
+			mu.Unlock()
+		}
+	}()
+
+	bw := bufio.NewWriterSize(nc, 16<<10)
+	var out []byte
+	var err error
+	next := time.Now()
+send:
+	for {
+		select {
+		case <-stop:
+			break send
+		case slots <- struct{}{}: // outstanding budget
+		}
+		if d := time.Until(next); d > 0 {
+			select {
+			case <-stop:
+				<-slots
+				break send
+			case <-time.After(d):
+			}
+		}
+		next = next.Add(interval)
+		op := st.next()
+		mu.Lock()
+		sent[op.ID] = time.Now()
+		mu.Unlock()
+		out, err = wire.AppendRequest(out[:0], []wire.Op{op})
+		if err != nil {
+			return err
+		}
+		if _, err := bw.Write(out); err != nil {
+			return fmt.Errorf("loadgen: write: %w", err)
+		}
+		if err := bw.Flush(); err != nil {
+			return fmt.Errorf("loadgen: flush: %w", err)
+		}
+	}
+
+	// Drain: half-close so the server finishes our in-flight ops and
+	// closes; the reader exits on EOF.
+	if tc, ok := nc.(*net.TCPConn); ok {
+		tc.CloseWrite()
+	}
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+	}
+	if err, _ := wErr.Load().(error); err != nil {
+		// EOF after half-close is the expected clean end.
+		mu.Lock()
+		pending := len(sent)
+		mu.Unlock()
+		if pending > 0 {
+			return fmt.Errorf("loadgen: %d responses lost: %w", pending, err)
+		}
+	}
+	return nil
+}
+
+// Preload fills a set server to the harness's standard half-full
+// occupancy (every other key) through one temporary connection, so
+// measured runs start from the steady-state the paper's experiments
+// use. No-op for queue/stack.
+func Preload(cfg Config) error {
+	cfg = cfg.withDefaults()
+	if cfg.Structure != StructSet {
+		return nil
+	}
+	nc, err := net.DialTimeout("tcp", cfg.Addr, cfg.DialTimeout)
+	if err != nil {
+		return fmt.Errorf("loadgen: preload dial: %w", err)
+	}
+	defer nc.Close()
+	br := bufio.NewReaderSize(nc, 64<<10)
+	bw := bufio.NewWriterSize(nc, 64<<10)
+	keys := harness.PreloadKeys(cfg.Dist.Space())
+	// Shuffle deterministically so range-partitioned shards fill
+	// evenly as the stream proceeds.
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	rng.Shuffle(len(keys), func(i, j int) { keys[i], keys[j] = keys[j], keys[i] })
+
+	var out, payload []byte
+	var batch []wire.Op
+	var results []wire.Result
+	var id uint64
+	for len(keys) > 0 {
+		n := wire.MaxOpsPerFrame
+		if n > len(keys) {
+			n = len(keys)
+		}
+		batch = batch[:0]
+		for _, k := range keys[:n] {
+			batch = append(batch, wire.Op{ID: id, Kind: wire.Add, Key: k})
+			id++
+		}
+		keys = keys[n:]
+		out, err = wire.AppendRequest(out[:0], batch)
+		if err != nil {
+			return err
+		}
+		if _, err := bw.Write(out); err != nil {
+			return err
+		}
+		if err := bw.Flush(); err != nil {
+			return err
+		}
+		for seen := 0; seen < n; {
+			payload, err = wire.ReadFrame(br, payload[:0])
+			if err != nil {
+				return fmt.Errorf("loadgen: preload read: %w", err)
+			}
+			results, err = wire.DecodeResponse(payload, results[:0])
+			if err != nil {
+				return err
+			}
+			seen += len(results)
+		}
+	}
+	return nil
+}

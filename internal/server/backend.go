@@ -1,0 +1,199 @@
+package server
+
+import (
+	"fmt"
+
+	"pimds/internal/cds/seqhash"
+	"pimds/internal/cds/seqlist"
+	"pimds/internal/cds/seqskip"
+	"pimds/internal/wire"
+)
+
+// A backend is one shard's sequential structure. It is only ever
+// touched by that shard's combiner goroutine, so — exactly as in flat
+// combining — it needs no synchronization of its own: the dispatch
+// loop is the combiner lock.
+//
+// ApplyBatch executes ops[i] and writes its outcome to out[i]; kinds
+// have already been validated against the structure by the reader, so
+// a backend only sees kinds it supports.
+type backend interface {
+	// ApplyBatch serves one combiner pass. len(out) == len(ops).
+	ApplyBatch(ops []wire.Op, out []wire.Result)
+	// Len returns the element count (used at quiescence by tests and
+	// the metrics collector).
+	Len() int
+}
+
+// Structure names accepted by Config.Structure.
+const (
+	StructList  = "list"
+	StructSkip  = "skip"
+	StructHash  = "hash"
+	StructQueue = "queue"
+	StructStack = "stack"
+)
+
+// setKinds reports whether k is a set operation (list/skip/hash).
+func setKinds(k wire.OpKind) bool {
+	return k == wire.Contains || k == wire.Add || k == wire.Remove
+}
+
+// kindSupported reports whether structure serves kind k.
+func kindSupported(structure string, k wire.OpKind) bool {
+	switch structure {
+	case StructList, StructSkip, StructHash:
+		return setKinds(k)
+	case StructQueue:
+		return k == wire.Enqueue || k == wire.Dequeue
+	case StructStack:
+		return k == wire.Push || k == wire.Pop
+	}
+	return false
+}
+
+// newBackend builds shard i of n for the named structure.
+func newBackend(structure string, shard int, seed int64) (backend, error) {
+	switch structure {
+	case StructList:
+		return &listBackend{l: seqlist.New()}, nil
+	case StructSkip:
+		return &skipBackend{l: seqskip.New(uint64(seed) + uint64(shard)*0x9e3779b97f4a7c15)}, nil
+	case StructHash:
+		return &hashBackend{t: seqhash.New(1 << 10)}, nil
+	case StructQueue:
+		return &queueBackend{}, nil
+	case StructStack:
+		return &stackBackend{}, nil
+	}
+	return nil, fmt.Errorf("server: unknown structure %q (want %s|%s|%s|%s|%s)",
+		structure, StructList, StructSkip, StructHash, StructQueue, StructStack)
+}
+
+// listBackend serves set ops on a sorted linked list, using the
+// paper's combining optimization: the whole batch is sorted and served
+// in one traversal (seqlist.ApplyBatch), so a combiner pass costs one
+// walk instead of one walk per request.
+type listBackend struct {
+	l   *seqlist.List
+	ops []seqlist.Op // scratch
+}
+
+func (b *listBackend) ApplyBatch(ops []wire.Op, out []wire.Result) {
+	b.ops = b.ops[:0]
+	for _, op := range ops {
+		b.ops = append(b.ops, seqlist.Op{Kind: seqlist.OpKind(op.Kind), Key: op.Key})
+	}
+	oks := b.l.ApplyBatch(b.ops)
+	for i, op := range ops {
+		out[i] = wire.Result{ID: op.ID, Status: wire.StatusOK, OK: oks[i]}
+	}
+}
+
+func (b *listBackend) Len() int { return b.l.Len() }
+
+// skipBackend serves set ops on a sequential skip-list.
+type skipBackend struct {
+	l *seqskip.List
+}
+
+func (b *skipBackend) ApplyBatch(ops []wire.Op, out []wire.Result) {
+	for i, op := range ops {
+		ok := b.l.Apply(seqskip.Op{Kind: seqskip.OpKind(op.Kind), Key: op.Key})
+		out[i] = wire.Result{ID: op.ID, Status: wire.StatusOK, OK: ok}
+	}
+}
+
+func (b *skipBackend) Len() int { return b.l.Len() }
+
+// hashBackend serves set ops on a chained hash table (keys only; the
+// stored value mirrors the key).
+type hashBackend struct {
+	t *seqhash.Table
+}
+
+func (b *hashBackend) ApplyBatch(ops []wire.Op, out []wire.Result) {
+	for i, op := range ops {
+		var ok bool
+		switch op.Kind {
+		case wire.Contains:
+			_, ok = b.t.Get(op.Key)
+		case wire.Add:
+			ok = b.t.Put(op.Key, op.Key)
+		case wire.Remove:
+			ok = b.t.Delete(op.Key)
+		}
+		out[i] = wire.Result{ID: op.ID, Status: wire.StatusOK, OK: ok}
+	}
+}
+
+func (b *hashBackend) Len() int { return b.t.Len() }
+
+// queueBackend is a FIFO queue over a growable ring buffer. Enqueue
+// always succeeds (OK=true); Dequeue reports OK=false on empty.
+type queueBackend struct {
+	buf        []int64
+	head, size int
+}
+
+func (b *queueBackend) ApplyBatch(ops []wire.Op, out []wire.Result) {
+	for i, op := range ops {
+		switch op.Kind {
+		case wire.Enqueue:
+			b.push(op.Key)
+			out[i] = wire.Result{ID: op.ID, Status: wire.StatusOK, OK: true}
+		case wire.Dequeue:
+			v, ok := b.pop()
+			out[i] = wire.Result{ID: op.ID, Status: wire.StatusOK, OK: ok, Value: v}
+		}
+	}
+}
+
+func (b *queueBackend) push(v int64) {
+	if b.size == len(b.buf) {
+		grown := make([]int64, 2*len(b.buf)+1)
+		for i := 0; i < b.size; i++ {
+			grown[i] = b.buf[(b.head+i)%len(b.buf)]
+		}
+		b.buf, b.head = grown, 0
+	}
+	b.buf[(b.head+b.size)%len(b.buf)] = v
+	b.size++
+}
+
+func (b *queueBackend) pop() (int64, bool) {
+	if b.size == 0 {
+		return 0, false
+	}
+	v := b.buf[b.head]
+	b.head = (b.head + 1) % len(b.buf)
+	b.size--
+	return v, true
+}
+
+func (b *queueBackend) Len() int { return b.size }
+
+// stackBackend is a LIFO stack over a slice. Pop reports OK=false on
+// empty.
+type stackBackend struct {
+	vals []int64
+}
+
+func (b *stackBackend) ApplyBatch(ops []wire.Op, out []wire.Result) {
+	for i, op := range ops {
+		switch op.Kind {
+		case wire.Push:
+			b.vals = append(b.vals, op.Key)
+			out[i] = wire.Result{ID: op.ID, Status: wire.StatusOK, OK: true}
+		case wire.Pop:
+			if n := len(b.vals); n > 0 {
+				out[i] = wire.Result{ID: op.ID, Status: wire.StatusOK, OK: true, Value: b.vals[n-1]}
+				b.vals = b.vals[:n-1]
+			} else {
+				out[i] = wire.Result{ID: op.ID, Status: wire.StatusOK}
+			}
+		}
+	}
+}
+
+func (b *stackBackend) Len() int { return len(b.vals) }

@@ -1,0 +1,19 @@
+package server
+
+import (
+	"net/http"
+
+	"pimds/internal/obs"
+)
+
+// MetricsHandler serves the registry's JSON snapshot — the same
+// document pimsim -metrics writes — at any path. cmd/pimserve mounts
+// it on the -metrics listener; tests hit it in-process.
+func MetricsHandler(reg *obs.Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if err := reg.WriteJSON(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+}

@@ -1,0 +1,76 @@
+package server
+
+import (
+	"sync"
+
+	"pimds/internal/linearize"
+	"pimds/internal/wire"
+)
+
+// OpLog optionally records every operation the server applies, as
+// linearize.Op intervals suitable for internal/linearize: Start is
+// stamped by the reader goroutine when the op is decoded (before it is
+// published to a shard) and End by the combiner right after the batch
+// executes, so the true linearization point always lies inside the
+// recorded interval. Client is the connection id; with one outstanding
+// op per connection (the closed-loop pattern the linearizability tests
+// use) that matches the checker's per-client program-order assumption.
+//
+// The log exists for testing and auditing; recording takes a mutex per
+// batch, so leave it nil in throughput runs.
+type OpLog struct {
+	mu  sync.Mutex
+	ops []linearize.Op
+}
+
+// NewOpLog returns an empty log.
+func NewOpLog() *OpLog { return &OpLog{} }
+
+// record appends one applied batch. A nil log is a no-op.
+func (l *OpLog) record(batch []pendingOp, results []wire.Result, end int64) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for i, p := range batch {
+		res := results[i]
+		op := linearize.Op{
+			Start:  p.start,
+			End:    end,
+			Client: p.conn.id,
+			Input:  p.op.Key,
+			OK:     res.OK,
+		}
+		switch p.op.Kind {
+		case wire.Contains:
+			op.Action = linearize.ActContains
+		case wire.Add:
+			op.Action = linearize.ActAdd
+		case wire.Remove:
+			op.Action = linearize.ActRemove
+		case wire.Enqueue:
+			op.Action = linearize.ActEnqueue
+		case wire.Dequeue:
+			op.Action = linearize.ActDequeue
+			op.Output = res.Value
+		case wire.Push:
+			op.Action = linearize.ActPush
+		case wire.Pop:
+			op.Action = linearize.ActPop
+			op.Output = res.Value
+		}
+		l.ops = append(l.ops, op)
+	}
+}
+
+// Ops returns a copy of the recorded history. Call at quiescence (after
+// Shutdown) for a complete log.
+func (l *OpLog) Ops() []linearize.Op {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]linearize.Op(nil), l.ops...)
+}

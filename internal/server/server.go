@@ -1,0 +1,536 @@
+// Package server is the networked data-structure server behind
+// cmd/pimserve: it owns one sequential structure per shard and serves
+// set/queue/stack operations over the wire protocol to many TCP
+// clients at once.
+//
+// The concurrency design is flat combining (Hendler et al., SPAA
+// 2010) transplanted onto a server: per-connection reader goroutines
+// decode operations and *publish* them into a bounded per-shard queue
+// (the publication list), and a single combiner goroutine per shard
+// drains whole batches and executes them against the shard's
+// sequential structure — no locks on the structures, one execution
+// context per shard, exactly the pattern the paper's PIM structures
+// use with one PIM core per vault. Backpressure is structural: when a
+// shard queue fills, readers block, stop draining their sockets, and
+// TCP pushes back on the clients.
+//
+// Shutdown is a drain, not an abort: accepted operations are executed
+// and their responses flushed before connections close, so no
+// acknowledged operation is ever lost (the e2e tests assert this).
+package server
+
+//pimvet:allow-file determinism: the network server runs on real wall-clock time by design — connection deadlines, combine windows and latency metrics measure the host, not simulated virtual time; nothing here feeds back into the simulator
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pimds/internal/obs"
+	"pimds/internal/wire"
+)
+
+// Config configures a Server.
+type Config struct {
+	// Structure selects the data structure: list, skip, hash (sets
+	// keyed in [0, KeySpace)), queue or stack.
+	Structure string
+
+	// Shards is the number of independent combiner shards. Sets are
+	// range-partitioned across shards (shard i owns keys
+	// [i·KeySpace/Shards, (i+1)·KeySpace/Shards)), mirroring the
+	// paper's partitioned skip-list; queue and stack are inherently
+	// serial and require Shards == 1. Default 1.
+	Shards int
+
+	// KeySpace is the exclusive key bound for set structures; keys
+	// outside [0, KeySpace) get StatusBadKey. Default 1<<16.
+	KeySpace int64
+
+	// QueueDepth is the capacity of each shard's pending-op queue and
+	// of each connection's response queue. A full shard queue blocks
+	// readers (backpressure). Default 1024.
+	QueueDepth int
+
+	// BatchMax caps the operations one combiner pass executes.
+	// Default wire.MaxOpsPerFrame.
+	BatchMax int
+
+	// CombineWait is how long a combiner lingers for more operations
+	// after its greedy drain came up short of BatchMax. Zero (the
+	// default) never waits: a pass serves whatever has accumulated,
+	// which already yields batch sizes ≈ the number of concurrently
+	// publishing connections under load. Setting a small window trades
+	// latency for bigger batches on lightly loaded shards.
+	CombineWait time.Duration
+
+	// IdleTimeout closes connections with no complete frame for this
+	// long. Zero disables the deadline.
+	IdleTimeout time.Duration
+
+	// WriteTimeout bounds one response-frame write to a slow client;
+	// on expiry the connection is marked failed and its remaining
+	// responses are discarded so combiners never stall on a dead peer.
+	// Default 30s.
+	WriteTimeout time.Duration
+
+	// Seed perturbs the skip-list tower generators. Default 1.
+	Seed int64
+
+	// Reg receives server metrics (nil disables instrumentation).
+	Reg *obs.Registry
+
+	// Log, when non-nil, records every applied operation for
+	// linearizability checking (testing/auditing only).
+	Log *OpLog
+}
+
+// withDefaults fills zero fields.
+func (c Config) withDefaults() Config {
+	if c.Shards == 0 {
+		c.Shards = 1
+	}
+	if c.KeySpace == 0 {
+		c.KeySpace = 1 << 16
+	}
+	if c.QueueDepth == 0 {
+		c.QueueDepth = 1024
+	}
+	if c.BatchMax == 0 || c.BatchMax > wire.MaxOpsPerFrame {
+		c.BatchMax = wire.MaxOpsPerFrame
+	}
+	if c.WriteTimeout == 0 {
+		c.WriteTimeout = 30 * time.Second
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// pendingOp is one published operation awaiting its combiner.
+type pendingOp struct {
+	op    wire.Op
+	conn  *conn
+	start int64 // ns since server epoch, stamped at decode
+}
+
+// conn is one client connection. The reader publishes ops and tracks
+// them in inflight; combiners deliver results into out; the writer
+// drains out into response frames. out is closed (exactly once) only
+// after the reader has exited and every inflight op has been
+// delivered, which is what makes drain lossless.
+type conn struct {
+	id  int
+	nc  net.Conn
+	out chan wire.Result
+
+	inflight sync.WaitGroup
+	closeOut sync.Once
+	failed   atomic.Bool // writer hit an error; discard further output
+}
+
+// deliver hands one result to the connection's writer. Blocks when the
+// writer is behind (bounded by WriteTimeout failing the conn).
+func (c *conn) deliver(res wire.Result) {
+	c.out <- res
+}
+
+// Server is one pimserve instance. Create with New, run with Serve,
+// stop with Shutdown.
+type Server struct {
+	cfg    Config
+	shards []*shard
+	epoch  time.Time
+
+	mu       sync.Mutex
+	ln       net.Listener
+	conns    []*conn
+	draining atomic.Bool
+
+	readers   sync.WaitGroup
+	shardWG   sync.WaitGroup
+	writers   sync.WaitGroup
+	drainDone chan struct{}
+	shutdown  sync.Once
+	connSeq   atomic.Int64
+
+	// metrics (nil-safe through obs)
+	connsOpen  *obs.Gauge
+	connsTotal *obs.Counter
+	framesIn   *obs.Counter
+	framesOut  *obs.Counter
+	opsTotal   *obs.Counter
+	opsBad     *obs.Counter
+	opLatency  *obs.Histogram
+}
+
+// shard is one combiner: a bounded publication queue plus the
+// sequential structure only its loop touches.
+type shard struct {
+	in chan pendingOp
+	be backend
+
+	batchSize  *obs.Histogram
+	queueDepth *obs.Gauge
+	combines   *obs.Counter
+}
+
+// New builds a server from cfg.
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Shards < 1 {
+		return nil, fmt.Errorf("server: shards must be ≥ 1, got %d", cfg.Shards)
+	}
+	if (cfg.Structure == StructQueue || cfg.Structure == StructStack) && cfg.Shards != 1 {
+		return nil, fmt.Errorf("server: structure %q is inherently serial; use shards=1, got %d", cfg.Structure, cfg.Shards)
+	}
+	if cfg.KeySpace < int64(cfg.Shards) {
+		return nil, fmt.Errorf("server: key space %d smaller than %d shards", cfg.KeySpace, cfg.Shards)
+	}
+	s := &Server{
+		cfg:       cfg,
+		epoch:     time.Now(),
+		drainDone: make(chan struct{}),
+
+		connsOpen:  cfg.Reg.Gauge("server/conns/open"),
+		connsTotal: cfg.Reg.Counter("server/conns/total"),
+		framesIn:   cfg.Reg.Counter("server/frames/in"),
+		framesOut:  cfg.Reg.Counter("server/frames/out"),
+		opsTotal:   cfg.Reg.Counter("server/ops/total"),
+		opsBad:     cfg.Reg.Counter("server/ops/rejected"),
+		opLatency:  cfg.Reg.Histogram("server/op_latency_ns"),
+	}
+	for i := 0; i < cfg.Shards; i++ {
+		be, err := newBackend(cfg.Structure, i, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		sh := &shard{
+			in:         make(chan pendingOp, cfg.QueueDepth),
+			be:         be,
+			batchSize:  cfg.Reg.Histogram(fmt.Sprintf("server/shard/%03d/batch_size", i)),
+			queueDepth: cfg.Reg.Gauge(fmt.Sprintf("server/shard/%03d/queue_depth", i)),
+			combines:   cfg.Reg.Counter(fmt.Sprintf("server/shard/%03d/combines", i)),
+		}
+		s.shards = append(s.shards, sh)
+		s.shardWG.Add(1)
+		go s.combineLoop(sh)
+	}
+	return s, nil
+}
+
+// now returns nanoseconds since the server epoch (monotonic).
+func (s *Server) now() int64 { return time.Since(s.epoch).Nanoseconds() }
+
+// shardFor routes a set key (already validated in [0, KeySpace)) to
+// its range partition.
+func (s *Server) shardFor(key int64) *shard {
+	i := int(key * int64(len(s.shards)) / s.cfg.KeySpace)
+	return s.shards[i]
+}
+
+// Serve accepts connections on ln until Shutdown (returning nil after
+// the drain completes) or a listener error.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	s.ln = ln
+	s.mu.Unlock()
+	for {
+		nc, err := ln.Accept()
+		if err != nil {
+			if s.draining.Load() {
+				<-s.drainDone
+				return nil
+			}
+			return err
+		}
+		c := &conn{
+			id:  int(s.connSeq.Add(1)),
+			nc:  nc,
+			out: make(chan wire.Result, s.cfg.QueueDepth),
+		}
+		s.mu.Lock()
+		if s.draining.Load() {
+			s.mu.Unlock()
+			nc.Close()
+			continue
+		}
+		s.conns = append(s.conns, c)
+		s.readers.Add(1)
+		s.writers.Add(1)
+		s.mu.Unlock()
+		s.connsTotal.Inc()
+		s.connsOpen.Add(1)
+		go s.readLoop(c)
+		go s.writeLoop(c)
+	}
+}
+
+// Addr returns the listen address once Serve has been called.
+func (s *Server) Addr() net.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return nil
+	}
+	return s.ln.Addr()
+}
+
+// readLoop decodes request frames and publishes their ops to shards.
+// It exits on connection error, idle timeout, malformed input, or
+// drain; only complete frames ever publish ops, so a teardown
+// mid-frame loses nothing that could have been acknowledged.
+func (s *Server) readLoop(c *conn) {
+	defer func() {
+		s.readers.Done()
+		// Close the response queue only after every published op has
+		// been executed and delivered; the writer then flushes the
+		// tail and closes the socket.
+		go func() {
+			c.inflight.Wait()
+			c.closeOut.Do(func() { close(c.out) })
+		}()
+	}()
+	br := bufio.NewReaderSize(c.nc, 64<<10)
+	var buf []byte
+	var ops []wire.Op
+	for {
+		if s.draining.Load() {
+			return
+		}
+		if t := s.cfg.IdleTimeout; t > 0 {
+			c.nc.SetReadDeadline(time.Now().Add(t))
+		}
+		payload, err := wire.ReadFrame(br, buf)
+		if err != nil {
+			return
+		}
+		buf = payload[:0]
+		ops, err = wire.DecodeRequest(payload, ops[:0])
+		if err != nil {
+			return
+		}
+		s.framesIn.Inc()
+		start := s.now()
+		for _, op := range ops {
+			if !kindSupported(s.cfg.Structure, op.Kind) {
+				s.reject(c, wire.Result{ID: op.ID, Status: wire.StatusBadKind})
+				continue
+			}
+			if setKinds(op.Kind) && (op.Key < 0 || op.Key >= s.cfg.KeySpace) {
+				s.reject(c, wire.Result{ID: op.ID, Status: wire.StatusBadKey})
+				continue
+			}
+			sh := s.shards[0]
+			if setKinds(op.Kind) {
+				sh = s.shardFor(op.Key)
+			}
+			c.inflight.Add(1)
+			sh.in <- pendingOp{op: op, conn: c, start: start}
+		}
+	}
+}
+
+// reject answers an invalid op directly from the reader, bypassing the
+// shards.
+func (s *Server) reject(c *conn, res wire.Result) {
+	s.opsBad.Inc()
+	c.inflight.Add(1)
+	c.deliver(res)
+	c.inflight.Done()
+}
+
+// combineLoop is one shard's combiner: it blocks for the first pending
+// op, greedily drains the rest of the queue (optionally lingering
+// CombineWait), executes the whole batch against the sequential
+// structure in one pass, and delivers the results.
+func (s *Server) combineLoop(sh *shard) {
+	defer s.shardWG.Done()
+	var (
+		batch   []pendingOp
+		ops     []wire.Op
+		results []wire.Result
+	)
+	for {
+		p, ok := <-sh.in
+		if !ok {
+			return
+		}
+		batch = append(batch[:0], p)
+	gather:
+		for len(batch) < s.cfg.BatchMax {
+			select {
+			case p, ok := <-sh.in:
+				if !ok {
+					break gather
+				}
+				batch = append(batch, p)
+			default:
+				break gather
+			}
+		}
+		if w := s.cfg.CombineWait; w > 0 && len(batch) < s.cfg.BatchMax {
+			timer := time.NewTimer(w)
+		linger:
+			for len(batch) < s.cfg.BatchMax {
+				select {
+				case p, ok := <-sh.in:
+					if !ok {
+						break linger
+					}
+					batch = append(batch, p)
+				case <-timer.C:
+					break linger
+				}
+			}
+			timer.Stop()
+		}
+
+		ops = ops[:0]
+		for _, p := range batch {
+			ops = append(ops, p.op)
+		}
+		if cap(results) < len(batch) {
+			results = make([]wire.Result, len(batch))
+		}
+		results = results[:len(batch)]
+		sh.be.ApplyBatch(ops, results)
+		end := s.now()
+
+		s.cfg.Log.record(batch, results, end)
+		sh.combines.Inc()
+		sh.batchSize.Observe(int64(len(batch)))
+		sh.queueDepth.Set(int64(len(sh.in)))
+		s.opsTotal.Add(uint64(len(batch)))
+		for i, p := range batch {
+			s.opLatency.Observe(end - p.start)
+			p.conn.deliver(results[i])
+			p.conn.inflight.Done()
+		}
+	}
+}
+
+// closeGrace bounds how long a closing connection waits for the client
+// to read its final responses and close its half of the socket.
+const closeGrace = 5 * time.Second
+
+// writeLoop drains a connection's results into batched response
+// frames. After a write error the connection is failed: results keep
+// draining (so combiners never block on a dead peer) but nothing more
+// is sent.
+func (s *Server) writeLoop(c *conn) {
+	defer func() {
+		// Close gracefully: a bare Close with unread request bytes in
+		// the kernel buffer sends RST, which destroys responses still in
+		// flight to the client — exactly the acknowledged-op loss the
+		// drain contract forbids. Send FIN instead, then discard inbound
+		// until the client closes (the reader has already exited, so the
+		// socket is ours to drain).
+		if cw, ok := c.nc.(interface{ CloseWrite() error }); ok && !c.failed.Load() {
+			cw.CloseWrite()
+			deadline := time.Now().Add(closeGrace)
+			for {
+				c.nc.SetReadDeadline(deadline)
+				if _, err := io.Copy(io.Discard, c.nc); err == nil {
+					break // client sent FIN
+				} else if ne, ok := err.(net.Error); ok && ne.Timeout() && time.Now().Before(deadline) {
+					continue // Shutdown poked the read deadline; re-arm ours
+				}
+				break
+			}
+		}
+		c.nc.Close()
+		s.connsOpen.Add(-1)
+		s.writers.Done()
+	}()
+	bw := bufio.NewWriterSize(c.nc, 64<<10)
+	var buf []byte
+	batch := make([]wire.Result, 0, wire.MaxOpsPerFrame)
+	for {
+		res, ok := <-c.out
+		if !ok {
+			bw.Flush()
+			return
+		}
+		batch = append(batch[:0], res)
+	gather:
+		for len(batch) < wire.MaxOpsPerFrame {
+			select {
+			case res, ok := <-c.out:
+				if !ok {
+					break gather
+				}
+				batch = append(batch, res)
+			default:
+				break gather
+			}
+		}
+		if c.failed.Load() {
+			continue
+		}
+		buf, _ = wire.AppendResponse(buf[:0], batch)
+		if t := s.cfg.WriteTimeout; t > 0 {
+			c.nc.SetWriteDeadline(time.Now().Add(t))
+		}
+		if _, err := bw.Write(buf); err != nil {
+			c.failed.Store(true)
+			continue
+		}
+		if len(c.out) == 0 {
+			if err := bw.Flush(); err != nil {
+				c.failed.Store(true)
+				continue
+			}
+		}
+		s.framesOut.Inc()
+	}
+}
+
+// Shutdown drains the server: it stops accepting, unblocks the
+// readers, lets every shard execute its remaining queue, waits for the
+// writers to flush every response, and only then closes the
+// connections. Safe to call more than once; Serve returns nil once the
+// drain completes.
+func (s *Server) Shutdown() {
+	s.shutdown.Do(func() {
+		s.draining.Store(true)
+		s.mu.Lock()
+		ln := s.ln
+		conns := append([]*conn(nil), s.conns...)
+		s.mu.Unlock()
+		if ln != nil {
+			ln.Close()
+		}
+		// Unblock readers stuck in Read; they exit without publishing
+		// partial frames.
+		for _, c := range conns {
+			c.nc.SetReadDeadline(time.Now())
+		}
+		s.readers.Wait()
+		// No more producers: close the publication queues, let the
+		// combiners drain them dry.
+		for _, sh := range s.shards {
+			close(sh.in)
+		}
+		s.shardWG.Wait()
+		// Every inflight op is delivered, so each conn's teardown
+		// closes its out queue and its writer flushes and exits.
+		s.writers.Wait()
+		close(s.drainDone)
+	})
+}
+
+// ShardLens returns each shard's element count. Only meaningful at
+// quiescence (after Shutdown).
+func (s *Server) ShardLens() []int {
+	lens := make([]int, len(s.shards))
+	for i, sh := range s.shards {
+		lens[i] = sh.be.Len()
+	}
+	return lens
+}

@@ -1,0 +1,300 @@
+// Package wire defines the compact length-prefixed binary protocol
+// spoken between pimload (or any client) and pimserve. It is the
+// network analogue of the flat-combining publication list: a client
+// publishes a *batch* of operations in one request frame, and the
+// server answers with one or more response frames carrying the results
+// tagged by request id, so responses for one frame may arrive split
+// (the server groups them by combiner pass) or interleaved with other
+// frames' results.
+//
+// Frame layout (all integers little-endian):
+//
+//	uint32  payload length (bytes that follow; ≤ MaxPayload)
+//	uint8   frame type (FrameRequest | FrameResponse)
+//	uint16  record count (≤ MaxOpsPerFrame)
+//	...     count fixed-size records
+//
+// Request record (17 bytes):  id uint64 | kind uint8 | key int64
+// Response record (18 bytes): id uint64 | status uint8 | ok uint8 | value int64
+//
+// Request ids are chosen by the client and echoed verbatim; the server
+// never interprets them beyond matching a result to its op. Decoding
+// is strict: a frame whose payload length does not exactly match its
+// declared record count is rejected, so a desynchronized stream fails
+// fast instead of smearing garbage into later frames.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// OpKind is the operation selector carried on the wire. The set kinds
+// (Contains/Add/Remove) drive the list, skip and hash structures; the
+// queue and stack kinds drive their respective structures.
+type OpKind uint8
+
+// Wire operation kinds.
+const (
+	Contains OpKind = iota
+	Add
+	Remove
+	Enqueue
+	Dequeue
+	Push
+	Pop
+
+	numKinds // sentinel, not a valid kind
+)
+
+// Valid reports whether k is a defined operation kind.
+func (k OpKind) Valid() bool { return k < numKinds }
+
+// String names the kind.
+func (k OpKind) String() string {
+	switch k {
+	case Contains:
+		return "contains"
+	case Add:
+		return "add"
+	case Remove:
+		return "remove"
+	case Enqueue:
+		return "enqueue"
+	case Dequeue:
+		return "dequeue"
+	case Push:
+		return "push"
+	case Pop:
+		return "pop"
+	}
+	return fmt.Sprintf("OpKind(%d)", uint8(k))
+}
+
+// Status is the per-operation result code.
+type Status uint8
+
+// Response status codes.
+const (
+	// StatusOK: the operation executed; OK/Value carry its result.
+	StatusOK Status = iota
+	// StatusBadKind: the kind is undefined or not supported by the
+	// structure the server is serving (e.g. Push to a queue server).
+	StatusBadKind
+	// StatusBadKey: the key is outside the server's key space.
+	StatusBadKey
+)
+
+// String names the status.
+func (s Status) String() string {
+	switch s {
+	case StatusOK:
+		return "ok"
+	case StatusBadKind:
+		return "bad-kind"
+	case StatusBadKey:
+		return "bad-key"
+	}
+	return fmt.Sprintf("Status(%d)", uint8(s))
+}
+
+// Frame types.
+const (
+	FrameRequest  uint8 = 1
+	FrameResponse uint8 = 2
+)
+
+// Op is one client operation. For Enqueue/Push, Key is the value; for
+// Dequeue/Pop it is ignored.
+type Op struct {
+	ID   uint64
+	Kind OpKind
+	Key  int64
+}
+
+// Result is one operation outcome. OK is the structure's boolean
+// answer (present / was-absent / pop-nonempty …); Value carries the
+// dequeued or popped value when applicable.
+type Result struct {
+	ID     uint64
+	Status Status
+	OK     bool
+	Value  int64
+}
+
+// Record and frame size constants.
+const (
+	opSize     = 8 + 1 + 8     // id, kind, key
+	resultSize = 8 + 1 + 1 + 8 // id, status, ok, value
+	headerSize = 1 + 2         // type, count
+
+	// MaxOpsPerFrame bounds the records in one frame; larger batches
+	// must be split across frames.
+	MaxOpsPerFrame = 4096
+
+	// MaxPayload is the largest legal frame payload. A peer announcing
+	// more is desynchronized or hostile and the connection should be
+	// dropped.
+	MaxPayload = headerSize + MaxOpsPerFrame*resultSize
+)
+
+// Protocol errors.
+var (
+	// ErrFrameTooLarge: the length prefix exceeds MaxPayload.
+	ErrFrameTooLarge = errors.New("wire: frame exceeds MaxPayload")
+	// ErrMalformed: the payload contradicts its own header.
+	ErrMalformed = errors.New("wire: malformed frame")
+	// ErrTooManyOps: an encoder was handed more than MaxOpsPerFrame
+	// records.
+	ErrTooManyOps = errors.New("wire: too many records for one frame")
+)
+
+// AppendRequest appends one request frame carrying ops to buf and
+// returns the extended slice. len(ops) must be in [0, MaxOpsPerFrame].
+func AppendRequest(buf []byte, ops []Op) ([]byte, error) {
+	if len(ops) > MaxOpsPerFrame {
+		return buf, ErrTooManyOps
+	}
+	payload := headerSize + len(ops)*opSize
+	buf = appendFrameHeader(buf, payload, FrameRequest, len(ops))
+	for _, op := range ops {
+		buf = binary.LittleEndian.AppendUint64(buf, op.ID)
+		buf = append(buf, byte(op.Kind))
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(op.Key))
+	}
+	return buf, nil
+}
+
+// AppendResponse appends one response frame carrying results to buf
+// and returns the extended slice.
+func AppendResponse(buf []byte, results []Result) ([]byte, error) {
+	if len(results) > MaxOpsPerFrame {
+		return buf, ErrTooManyOps
+	}
+	payload := headerSize + len(results)*resultSize
+	buf = appendFrameHeader(buf, payload, FrameResponse, len(results))
+	for _, res := range results {
+		buf = binary.LittleEndian.AppendUint64(buf, res.ID)
+		buf = append(buf, byte(res.Status))
+		ok := byte(0)
+		if res.OK {
+			ok = 1
+		}
+		buf = append(buf, ok)
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(res.Value))
+	}
+	return buf, nil
+}
+
+func appendFrameHeader(buf []byte, payload int, typ uint8, count int) []byte {
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(payload))
+	buf = append(buf, typ)
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(count))
+	return buf
+}
+
+// ReadFrame reads one length-prefixed payload from r, reusing buf when
+// it is large enough. It returns io.EOF only on a clean frame
+// boundary; a stream that dies mid-frame yields io.ErrUnexpectedEOF.
+// The returned slice aliases buf (or its replacement) and is valid
+// until the next call with the same buffer.
+func ReadFrame(r io.Reader, buf []byte) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:1]); err != nil {
+		return nil, err // io.EOF here is a clean close
+	}
+	if _, err := io.ReadFull(r, hdr[1:]); err != nil {
+		return nil, unexpectedEOF(err)
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n > MaxPayload {
+		return nil, ErrFrameTooLarge
+	}
+	if n < headerSize {
+		return nil, fmt.Errorf("%w: payload length %d below header size", ErrMalformed, n)
+	}
+	if cap(buf) < int(n) {
+		buf = make([]byte, n)
+	}
+	buf = buf[:n]
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, unexpectedEOF(err)
+	}
+	return buf, nil
+}
+
+func unexpectedEOF(err error) error {
+	if err == io.EOF {
+		return io.ErrUnexpectedEOF
+	}
+	return err
+}
+
+// DecodeRequest decodes a request-frame payload (as returned by
+// ReadFrame), appending the ops to dst. Kinds are not validated here —
+// the server answers undefined kinds with StatusBadKind rather than
+// tearing down the connection.
+func DecodeRequest(payload []byte, dst []Op) ([]Op, error) {
+	body, count, err := checkHeader(payload, FrameRequest, opSize)
+	if err != nil {
+		return dst, err
+	}
+	for i := 0; i < count; i++ {
+		rec := body[i*opSize:]
+		dst = append(dst, Op{
+			ID:   binary.LittleEndian.Uint64(rec),
+			Kind: OpKind(rec[8]),
+			Key:  int64(binary.LittleEndian.Uint64(rec[9:])),
+		})
+	}
+	return dst, nil
+}
+
+// DecodeResponse decodes a response-frame payload, appending the
+// results to dst. Records are validated strictly — an undefined status
+// or a non-canonical ok byte (anything but 0/1) is ErrMalformed — so
+// every accepted payload re-encodes byte-identically.
+func DecodeResponse(payload []byte, dst []Result) ([]Result, error) {
+	body, count, err := checkHeader(payload, FrameResponse, resultSize)
+	if err != nil {
+		return dst, err
+	}
+	for i := 0; i < count; i++ {
+		rec := body[i*resultSize:]
+		if rec[8] > uint8(StatusBadKey) {
+			return dst, fmt.Errorf("%w: undefined status %d", ErrMalformed, rec[8])
+		}
+		if rec[9] > 1 {
+			return dst, fmt.Errorf("%w: ok byte %d, want 0 or 1", ErrMalformed, rec[9])
+		}
+		dst = append(dst, Result{
+			ID:     binary.LittleEndian.Uint64(rec),
+			Status: Status(rec[8]),
+			OK:     rec[9] == 1,
+			Value:  int64(binary.LittleEndian.Uint64(rec[10:])),
+		})
+	}
+	return dst, nil
+}
+
+// checkHeader validates the frame type and that the payload length
+// matches the declared record count exactly.
+func checkHeader(payload []byte, wantType uint8, recSize int) (body []byte, count int, err error) {
+	if len(payload) < headerSize {
+		return nil, 0, fmt.Errorf("%w: truncated header", ErrMalformed)
+	}
+	if payload[0] != wantType {
+		return nil, 0, fmt.Errorf("%w: frame type %d, want %d", ErrMalformed, payload[0], wantType)
+	}
+	count = int(binary.LittleEndian.Uint16(payload[1:]))
+	if count > MaxOpsPerFrame {
+		return nil, 0, fmt.Errorf("%w: record count %d exceeds %d", ErrMalformed, count, MaxOpsPerFrame)
+	}
+	body = payload[headerSize:]
+	if len(body) != count*recSize {
+		return nil, 0, fmt.Errorf("%w: %d bytes for %d records of %d bytes", ErrMalformed, len(body), count, recSize)
+	}
+	return body, count, nil
+}

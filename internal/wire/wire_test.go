@@ -1,0 +1,235 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"math"
+	"testing"
+)
+
+func TestRequestRoundTrip(t *testing.T) {
+	ops := []Op{
+		{ID: 0, Kind: Contains, Key: 0},
+		{ID: 1, Kind: Add, Key: -5},
+		{ID: math.MaxUint64, Kind: Pop, Key: math.MaxInt64},
+		{ID: 42, Kind: Enqueue, Key: math.MinInt64},
+	}
+	buf, err := AppendRequest(nil, ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload, err := ReadFrame(bytes.NewReader(buf), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeRequest(payload, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(ops) {
+		t.Fatalf("decoded %d ops, want %d", len(got), len(ops))
+	}
+	for i := range ops {
+		if got[i] != ops[i] {
+			t.Errorf("op %d: got %+v, want %+v", i, got[i], ops[i])
+		}
+	}
+}
+
+func TestResponseRoundTrip(t *testing.T) {
+	results := []Result{
+		{ID: 7, Status: StatusOK, OK: true, Value: 99},
+		{ID: 8, Status: StatusBadKind, OK: false, Value: 0},
+		{ID: 9, Status: StatusBadKey, OK: false, Value: -1},
+	}
+	buf, err := AppendResponse(nil, results)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload, err := ReadFrame(bytes.NewReader(buf), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeResponse(payload, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(results) {
+		t.Fatalf("decoded %d results, want %d", len(got), len(results))
+	}
+	for i := range results {
+		if got[i] != results[i] {
+			t.Errorf("result %d: got %+v, want %+v", i, got[i], results[i])
+		}
+	}
+}
+
+func TestEmptyFrames(t *testing.T) {
+	buf, err := AppendRequest(nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload, err := ReadFrame(bytes.NewReader(buf), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops, err := DecodeRequest(payload, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ops) != 0 {
+		t.Fatalf("decoded %d ops from empty frame", len(ops))
+	}
+}
+
+func TestMultipleFramesOneStream(t *testing.T) {
+	var stream []byte
+	var err error
+	for i := 0; i < 10; i++ {
+		stream, err = AppendRequest(stream, []Op{{ID: uint64(i), Kind: Add, Key: int64(i)}})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	r := bytes.NewReader(stream)
+	var buf []byte
+	for i := 0; i < 10; i++ {
+		payload, err := ReadFrame(r, buf)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		buf = payload[:0]
+		ops, err := DecodeRequest(payload, nil)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if len(ops) != 1 || ops[0].ID != uint64(i) {
+			t.Fatalf("frame %d: got %+v", i, ops)
+		}
+	}
+	if _, err := ReadFrame(r, buf); err != io.EOF {
+		t.Fatalf("want clean io.EOF after last frame, got %v", err)
+	}
+}
+
+func TestReadFrameTruncated(t *testing.T) {
+	full, err := AppendRequest(nil, []Op{{ID: 1, Kind: Add, Key: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every strict prefix (except the empty one) must yield
+	// io.ErrUnexpectedEOF — a peer died mid-frame.
+	for cut := 1; cut < len(full); cut++ {
+		_, err := ReadFrame(bytes.NewReader(full[:cut]), nil)
+		if err != io.ErrUnexpectedEOF {
+			t.Errorf("prefix of %d bytes: got %v, want io.ErrUnexpectedEOF", cut, err)
+		}
+	}
+	// The empty prefix is a clean close.
+	if _, err := ReadFrame(bytes.NewReader(nil), nil); err != io.EOF {
+		t.Errorf("empty stream: got %v, want io.EOF", err)
+	}
+}
+
+func TestReadFrameRejectsOversizedLength(t *testing.T) {
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], MaxPayload+1)
+	_, err := ReadFrame(bytes.NewReader(hdr[:]), nil)
+	if !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("got %v, want ErrFrameTooLarge", err)
+	}
+}
+
+func TestReadFrameRejectsUndersizedLength(t *testing.T) {
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], 1) // below the 3-byte header
+	stream := append(hdr[:], 0)
+	_, err := ReadFrame(bytes.NewReader(stream), nil)
+	if !errors.Is(err, ErrMalformed) {
+		t.Fatalf("got %v, want ErrMalformed", err)
+	}
+}
+
+func TestDecodeRejectsCountMismatch(t *testing.T) {
+	buf, err := AppendRequest(nil, []Op{{ID: 1, Kind: Add, Key: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload, err := ReadFrame(bytes.NewReader(buf), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Inflate the declared count without adding bytes.
+	binary.LittleEndian.PutUint16(payload[1:], 2)
+	if _, err := DecodeRequest(payload, nil); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("got %v, want ErrMalformed", err)
+	}
+}
+
+func TestDecodeRejectsWrongFrameType(t *testing.T) {
+	buf, err := AppendResponse(nil, []Result{{ID: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload, err := ReadFrame(bytes.NewReader(buf), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeRequest(payload, nil); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("decoding a response as a request: got %v, want ErrMalformed", err)
+	}
+}
+
+func TestEncodeRejectsTooManyOps(t *testing.T) {
+	ops := make([]Op, MaxOpsPerFrame+1)
+	if _, err := AppendRequest(nil, ops); !errors.Is(err, ErrTooManyOps) {
+		t.Fatalf("got %v, want ErrTooManyOps", err)
+	}
+	results := make([]Result, MaxOpsPerFrame+1)
+	if _, err := AppendResponse(nil, results); !errors.Is(err, ErrTooManyOps) {
+		t.Fatalf("got %v, want ErrTooManyOps", err)
+	}
+}
+
+func TestMaxOpsFrameRoundTrips(t *testing.T) {
+	ops := make([]Op, MaxOpsPerFrame)
+	for i := range ops {
+		ops[i] = Op{ID: uint64(i), Kind: OpKind(i % int(numKinds)), Key: int64(i * 31)}
+	}
+	buf, err := AppendRequest(nil, ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload, err := ReadFrame(bytes.NewReader(buf), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeRequest(payload, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != MaxOpsPerFrame {
+		t.Fatalf("decoded %d ops, want %d", len(got), MaxOpsPerFrame)
+	}
+}
+
+func TestKindAndStatusStrings(t *testing.T) {
+	for k := Contains; k < numKinds; k++ {
+		if !k.Valid() {
+			t.Errorf("kind %d should be valid", k)
+		}
+		if s := k.String(); s == "" || s[0] == 'O' {
+			t.Errorf("kind %d has no name: %q", k, s)
+		}
+	}
+	if numKinds.Valid() {
+		t.Error("sentinel kind must be invalid")
+	}
+	for _, s := range []Status{StatusOK, StatusBadKind, StatusBadKey} {
+		if s.String() == "" {
+			t.Errorf("status %d has no name", s)
+		}
+	}
+}
