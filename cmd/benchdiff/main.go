@@ -25,8 +25,9 @@ import (
 
 func main() {
 	threshold := flag.Float64("threshold", 10, "relative change (percent) beyond which a cell is flagged")
+	allocThreshold := flag.Float64("alloc-threshold", 0, "tighter threshold (percent) for allocs/op and B/op columns (0 = same as -threshold)")
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: benchdiff [-threshold pct] old.json new.json\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: benchdiff [-threshold pct] [-alloc-threshold pct] old.json new.json\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -52,7 +53,10 @@ func main() {
 	oldRep := load(flag.Arg(0))
 	newRep := load(flag.Arg(1))
 
-	findings := benchfmt.Compare(oldRep, newRep, benchfmt.CompareOptions{ThresholdPct: *threshold})
+	findings := benchfmt.Compare(oldRep, newRep, benchfmt.CompareOptions{
+		ThresholdPct:      *threshold,
+		AllocThresholdPct: *allocThreshold,
+	})
 	counts := map[benchfmt.Severity]int{}
 	for _, f := range findings {
 		counts[f.Severity]++

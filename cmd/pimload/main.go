@@ -38,6 +38,9 @@ func main() {
 		seed      = flag.Int64("seed", 1, "key-stream seed")
 		preload   = flag.Bool("preload", false, "fill the set to half occupancy before measuring")
 		jsonPath  = flag.String("json", "", "write the benchfmt report here ('-' = stdout)")
+		traceSamp = flag.Float64("trace-sample", 0, "fraction of request frames sent with trace context (server records spans for them)")
+		sloP99    = flag.Duration("slo-p99", 0, "p99 latency budget; prints an SLO verdict and burn rate (0 = off)")
+		sloStrict = flag.Bool("slo-strict", false, "exit 3 when the SLO verdict is FAIL")
 	)
 	flag.Parse()
 
@@ -57,15 +60,17 @@ func main() {
 	}
 
 	cfg := loadgen.Config{
-		Addr:      *addr,
-		Structure: *structure,
-		Conns:     *conns,
-		Pipeline:  *pipeline,
-		Rate:      *rate,
-		Duration:  *duration,
-		Dist:      kd,
-		Mix:       mix,
-		Seed:      *seed,
+		Addr:        *addr,
+		Structure:   *structure,
+		Conns:       *conns,
+		Pipeline:    *pipeline,
+		Rate:        *rate,
+		Duration:    *duration,
+		Dist:        kd,
+		Mix:         mix,
+		Seed:        *seed,
+		TraceSample: *traceSamp,
+		SLOP99:      *sloP99,
 	}
 	if *preload {
 		if err := loadgen.Preload(cfg); err != nil {
@@ -95,5 +100,9 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
+	}
+
+	if slo, ok := res.SLO(); ok && !slo.Met && *sloStrict {
+		os.Exit(3)
 	}
 }

@@ -43,6 +43,10 @@ func main() {
 		idleTimeout = flag.Duration("idle-timeout", 0, "close connections idle this long (0 = never)")
 		writeTO     = flag.Duration("write-timeout", 30*time.Second, "per-frame write deadline to slow clients")
 		seed        = flag.Int64("seed", 1, "skip-list tower seed")
+		opsAddr     = flag.String("ops-addr", "", "HTTP ops endpoint: Prometheus /metrics, /slow, /trace, /debug/pprof (empty = off)")
+		traceSample = flag.Float64("trace-sample", 0, "fraction of request frames to trace (0 = only client-requested)")
+		traceRing   = flag.Int("trace-ring", 256, "finished spans retained per shard for /trace")
+		slowThresh  = flag.Duration("slow-threshold", 0, "log sampled requests at least this slow to /slow (0 = off)")
 	)
 	flag.Parse()
 
@@ -53,16 +57,19 @@ func main() {
 
 	reg := obs.NewRegistry()
 	srv, err := server.New(server.Config{
-		Structure:    *structure,
-		Shards:       *shards,
-		KeySpace:     *keySpace,
-		QueueDepth:   *queueDepth,
-		BatchMax:     *batchMax,
-		CombineWait:  *combineWait,
-		IdleTimeout:  *idleTimeout,
-		WriteTimeout: *writeTO,
-		Seed:         *seed,
-		Reg:          reg,
+		Structure:     *structure,
+		Shards:        *shards,
+		KeySpace:      *keySpace,
+		QueueDepth:    *queueDepth,
+		BatchMax:      *batchMax,
+		CombineWait:   *combineWait,
+		IdleTimeout:   *idleTimeout,
+		WriteTimeout:  *writeTO,
+		Seed:          *seed,
+		Reg:           reg,
+		TraceSample:   *traceSample,
+		TraceRing:     *traceRing,
+		SlowThreshold: *slowThresh,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -89,6 +96,19 @@ func main() {
 			mux.Handle("/metrics", server.MetricsHandler(reg))
 			// Ignore the error on shutdown: the process is exiting.
 			http.Serve(mln, mux)
+		}()
+	}
+
+	if *opsAddr != "" {
+		oln, err := net.Listen("tcp", *opsAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "pimserve: ops endpoint on http://%s/metrics\n", oln.Addr())
+		go func() {
+			// Ignore the error on shutdown: the process is exiting.
+			http.Serve(oln, srv.OpsHandler())
 		}()
 	}
 

@@ -58,11 +58,12 @@ func ByName(names string) []*analysis.Analyzer {
 // testdata fixtures override with //pimvet:package) so scope rules are
 // testable.
 const (
-	simPath  = "pimds/internal/sim"
-	corePath = "pimds/internal/core"
-	cdsPath  = "pimds/internal/cds"
-	obsPath  = "pimds/internal/obs"
-	profPath = "pimds/internal/prof"
+	simPath    = "pimds/internal/sim"
+	corePath   = "pimds/internal/core"
+	cdsPath    = "pimds/internal/cds"
+	obsPath    = "pimds/internal/obs"
+	profPath   = "pimds/internal/prof"
+	serverPath = "pimds/internal/server"
 )
 
 func underPath(path, prefix string) bool {

@@ -37,6 +37,15 @@ import (
 // profiler exclusively through the sim.Profiler interface, and
 // post-run code reads it back; handler algorithms must see neither
 // side.
+//
+// In pimds/internal/server the concern inverts: observability must not
+// tax the unobserved fast path. The request tracer's contract is that
+// a span is allocated only for sampled requests, so inside the server
+// hot loops (readLoop, combineLoop, writeLoop — any for/range body) an
+// allocation of the span type (&span{...} or new(span)) must sit
+// behind a conditional (the sampling guard). An unconditional span
+// allocation in a loop charges every request the tracer's cost and is
+// flagged.
 var ObsSafety = &analysis.Analyzer{
 	Name: "obssafety",
 	Doc:  "flags handler code whose simulated behaviour can depend on observability state",
@@ -51,6 +60,10 @@ var obsReadMethods = map[string]bool{
 }
 
 func runObsSafety(pass *analysis.Pass) {
+	if underPath(pass.Path, serverPath) {
+		checkServerSpanAllocs(pass)
+		return
+	}
 	inSim := underPath(pass.Path, simPath)
 	inCore := underPath(pass.Path, corePath)
 	if !inSim && !inCore {
@@ -97,4 +110,76 @@ func runObsSafety(pass *analysis.Pass) {
 			return true
 		})
 	}
+}
+
+// checkServerSpanAllocs enforces the server tracer's fast-path
+// contract: inside any loop body, allocating the package's span type
+// must be conditional (behind the sampling guard). Unconditional
+// allocation means every request — sampled or not — pays for tracing.
+func checkServerSpanAllocs(pass *analysis.Pass) {
+	info := pass.TypesInfo
+	for _, fn := range allFuncs(pass.Files) {
+		// Stack of enclosing nodes within this function body; function
+		// literals are skipped here because allFuncs yields them as
+		// functions in their own right.
+		var stack []ast.Node
+		ast.Inspect(fn.body, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return false
+			}
+			if _, ok := n.(*ast.FuncLit); ok && n != fn.body {
+				return false
+			}
+			if isSpanAlloc(pass, info, n) && inUnguardedLoop(stack) {
+				pass.Reportf(n.Pos(),
+					"span allocated unconditionally inside a hot loop; span allocation must sit behind the sampling guard (if sampled { ... }) so unsampled requests pay nothing for tracing")
+			}
+			stack = append(stack, n)
+			return true
+		})
+	}
+}
+
+// isSpanAlloc reports whether n allocates the current package's span
+// type: a composite literal span{...} (possibly behind &) or new(span).
+func isSpanAlloc(pass *analysis.Pass, info *types.Info, n ast.Node) bool {
+	switch e := n.(type) {
+	case *ast.CompositeLit:
+		return isLocalSpan(pass, info.Types[e].Type)
+	case *ast.CallExpr:
+		id, ok := ast.Unparen(e.Fun).(*ast.Ident)
+		if !ok || id.Name != "new" || len(e.Args) != 1 {
+			return false
+		}
+		if b, ok := info.Uses[id].(*types.Builtin); !ok || b.Name() != "new" {
+			return false
+		}
+		return isLocalSpan(pass, info.Types[e.Args[0]].Type)
+	}
+	return false
+}
+
+// isLocalSpan reports whether t is the named type "span" declared in
+// the package under analysis.
+func isLocalSpan(pass *analysis.Pass, t types.Type) bool {
+	n := namedType(t)
+	return n != nil && n.Obj().Name() == "span" && n.Obj().Pkg() == pass.Pkg
+}
+
+// inUnguardedLoop walks the enclosing-node stack from the innermost
+// node outward. The allocation is unguarded when a for/range body is
+// reached before any conditional construct: an if, switch or select
+// between the allocation and the loop is taken to be the sampling
+// guard.
+func inUnguardedLoop(stack []ast.Node) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch stack[i].(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			return true
+		case *ast.IfStmt, *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+			return false
+		}
+	}
+	return false
 }

@@ -11,3 +11,7 @@ import (
 func TestObsSafety(t *testing.T) {
 	analysistest.Run(t, "testdata/src/obssafety", analyzers.ObsSafety, analysis.Options{})
 }
+
+func TestObsSafetyServerSpans(t *testing.T) {
+	analysistest.Run(t, "testdata/src/obssafety_span", analyzers.ObsSafety, analysis.Options{})
+}

@@ -1,0 +1,90 @@
+// Fixture for the obssafety analyzer's server-side check: span
+// allocation inside hot loops must sit behind the sampling guard so
+// unsampled requests pay nothing for tracing.
+//
+//pimvet:package pimds/internal/server/fixture
+package fixture
+
+// span mirrors the server's request-span record; the analyzer matches
+// the named type "span" declared in the package under analysis.
+type span struct {
+	traceID uint64
+	start   int64
+}
+
+type op struct {
+	sampled bool
+	sp      *span
+}
+
+func sink(*span) {}
+
+// unguardedLiteral allocates a span for every request: flagged.
+func unguardedLiteral(ops []op) {
+	for i := range ops {
+		ops[i].sp = &span{traceID: uint64(i)} // want `span allocated unconditionally inside a hot loop`
+	}
+}
+
+// unguardedNew uses new(span) instead of a literal: still flagged.
+func unguardedNew(ops []op) {
+	for i := range ops {
+		ops[i].sp = new(span) // want `span allocated unconditionally inside a hot loop`
+	}
+}
+
+// unguardedValue allocates by value in a plain for loop: flagged.
+func unguardedValue(n int) {
+	for i := 0; i < n; i++ {
+		s := span{start: int64(i)} // want `span allocated unconditionally inside a hot loop`
+		sink(&s)
+	}
+}
+
+// guarded is the sanctioned shape: allocation behind the sampling
+// guard, so only sampled requests allocate.
+func guarded(ops []op) {
+	for i := range ops {
+		if ops[i].sampled {
+			ops[i].sp = &span{traceID: uint64(i)}
+		}
+	}
+}
+
+// guardedSwitch accepts any conditional between loop and allocation.
+func guardedSwitch(ops []op, mode int) {
+	for i := range ops {
+		switch mode {
+		case 1:
+			ops[i].sp = new(span)
+		}
+	}
+}
+
+// outsideLoop is setup code, not a hot loop: unconditional allocation
+// is fine.
+func outsideLoop() *span {
+	return &span{}
+}
+
+// nestedUnguarded: an if around an inner loop does not guard the
+// allocation inside that loop — the inner loop body still allocates
+// per iteration.
+func nestedUnguarded(ops []op, traced bool) {
+	if traced {
+		for i := range ops {
+			ops[i].sp = &span{} // want `span allocated unconditionally inside a hot loop`
+		}
+	}
+}
+
+// closureInLoop: a function literal resets the guard context — the
+// literal runs on its own schedule and is analyzed separately; the
+// allocation inside it is not in this loop's per-iteration path.
+func closureInLoop(ops []op) []func() *span {
+	var fns []func() *span
+	for range ops {
+		fns = append(fns, func() *span { return &span{} })
+	}
+	return fns
+}

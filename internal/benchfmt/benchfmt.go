@@ -117,18 +117,28 @@ func (f Finding) String() string {
 }
 
 // direction returns +1 when higher is better (throughput), -1 when
-// lower is better (latency), 0 when unknown.
+// lower is better (latency, allocations, error-budget burn), 0 when
+// unknown.
 func direction(column string) int {
 	c := strings.ToLower(column)
 	switch {
 	case strings.Contains(c, "ops/s"), strings.Contains(c, "throughput"), strings.Contains(c, "speedup"):
 		return +1
 	case strings.Contains(c, "p50"), strings.Contains(c, "p95"), strings.Contains(c, "p99"),
-		strings.Contains(c, "latency"):
+		strings.Contains(c, "latency"),
+		strings.Contains(c, "burn"),
+		allocColumn(c):
 		return -1
 	default:
 		return 0
 	}
+}
+
+// allocColumn reports whether a (lowercased) column header is an
+// allocation metric: allocs/op or B/op as emitted by pimload and the
+// testing package's benchmark output.
+func allocColumn(c string) bool {
+	return strings.Contains(c, "allocs/op") || strings.Contains(c, "b/op") || strings.Contains(c, "alloc")
 }
 
 // ParseCell parses a table cell rendered by the harness back into a
@@ -167,6 +177,12 @@ type CompareOptions struct {
 	// ThresholdPct is the relative change (percent) beyond which a
 	// numeric cell is reported. Default 10.
 	ThresholdPct float64
+	// AllocThresholdPct overrides ThresholdPct for allocation columns
+	// (allocs/op, B/op). Allocation counts are far less noisy than
+	// wall-clock throughput, so a tighter gate catches allocation
+	// regressions that would hide inside the timing threshold. Zero
+	// inherits ThresholdPct.
+	AllocThresholdPct float64
 }
 
 // Compare aligns two reports and returns findings for every numeric
@@ -252,13 +268,17 @@ func compareTable(exp string, ot, nt *Table, opt CompareOptions) []Finding {
 			if !oNum || !nNum {
 				continue
 			}
-			delta := deltaPct(ov, nv)
-			if math.Abs(delta) <= opt.ThresholdPct {
-				continue
-			}
 			col := ""
 			if c < len(ot.Columns) {
 				col = ot.Columns[c]
+			}
+			threshold := opt.ThresholdPct
+			if opt.AllocThresholdPct > 0 && allocColumn(strings.ToLower(col)) {
+				threshold = opt.AllocThresholdPct
+			}
+			delta := deltaPct(ov, nv)
+			if math.Abs(delta) <= threshold {
+				continue
 			}
 			sev := SevDrift
 			switch direction(col) {

@@ -103,6 +103,36 @@ func TestCompareFlagsImprovementAndDrift(t *testing.T) {
 	}
 }
 
+func TestCompareAllocColumnsTighterThreshold(t *testing.T) {
+	mk := func(allocs, bytes string) *Report {
+		return &Report{
+			Name: "pimload",
+			Experiments: []ExperimentResult{{ID: "pimload", Tables: []Table{{
+				Title:   "pimload — set workload",
+				Columns: []string{"conns", "ops/s", "allocs/op", "B/op"},
+				Rows:    [][]string{{"64", "10.0M", allocs, bytes}},
+			}}}},
+		}
+	}
+	// +6% allocations: invisible at the 10% timing threshold, but the
+	// 5% alloc threshold must flag it — as a regression, because more
+	// allocations per op is always the wrong direction.
+	old, new := mk("10.00", "512"), mk("10.60", "512")
+	fs := Compare(old, new, CompareOptions{ThresholdPct: 10, AllocThresholdPct: 5})
+	if len(fs) != 1 || fs[0].Severity != SevRegression || fs[0].Column != "allocs/op" {
+		t.Fatalf("expected one allocs/op regression, got %v", fs)
+	}
+	// Without the override the same delta stays under the gate.
+	if fs := Compare(old, new, CompareOptions{ThresholdPct: 10}); len(fs) != 0 {
+		t.Fatalf("expected no findings at timing threshold, got %v", fs)
+	}
+	// Fewer bytes per op beyond threshold is an improvement.
+	fs = Compare(mk("10.00", "512"), mk("10.00", "400"), CompareOptions{ThresholdPct: 10, AllocThresholdPct: 5})
+	if len(fs) != 1 || fs[0].Severity != SevImprovement || fs[0].Column != "B/op" {
+		t.Fatalf("expected one B/op improvement, got %v", fs)
+	}
+}
+
 func TestCompareStructuralMismatch(t *testing.T) {
 	old := report("10.0M", "1µs")
 	new := report("10.0M", "1µs")

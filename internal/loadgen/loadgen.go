@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"math/rand"
 	"net"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -60,6 +61,18 @@ type Config struct {
 	Seed int64
 	// DialTimeout bounds each connection attempt. Default 5s.
 	DialTimeout time.Duration
+	// TraceSample is the fraction of request frames ([0, 1]) sent as
+	// traced frames with the Sampled bit set, forcing server-side span
+	// recording for those requests regardless of the server's own
+	// sample rate. Trace IDs are minted per frame from the seeded
+	// per-connection stream. Zero sends only plain frames.
+	TraceSample float64
+	// SLOP99 is the p99 latency budget. When set, the result carries
+	// an SLO verdict: whether the observed p99 met the budget, and the
+	// error-budget burn rate (fraction of responses over budget,
+	// normalized by the 1% a p99 target allows — burn 1.0 means the
+	// budget is being consumed exactly as fast as it accrues).
+	SLOP99 time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -89,11 +102,64 @@ func (c Config) withDefaults() Config {
 
 // Result is the outcome of one run.
 type Result struct {
-	Cfg     Config
-	Ops     uint64        // completed operations (responses received)
-	Errors  uint64        // responses with a non-OK status
-	Elapsed time.Duration // first send to last response
-	Latency *obs.Histogram
+	Cfg          Config
+	Ops          uint64        // completed operations (responses received)
+	Errors       uint64        // responses with a non-OK status
+	Elapsed      time.Duration // first send to last response
+	Latency      *obs.Histogram
+	TracedFrames uint64 // request frames sent with trace context
+	OverBudget   uint64 // responses slower than Cfg.SLOP99
+	Allocs       uint64 // client-side heap allocations during the run
+	AllocBytes   uint64 // client-side bytes allocated during the run
+}
+
+// AllocsPerOp is the client-side allocation cost of one completed
+// operation — the load generator's own efficiency, watched by
+// benchdiff so the injector can't silently become the bottleneck.
+func (r *Result) AllocsPerOp() float64 {
+	if r.Ops == 0 {
+		return 0
+	}
+	return float64(r.Allocs) / float64(r.Ops)
+}
+
+// BytesPerOp is the client-side bytes allocated per completed op.
+func (r *Result) BytesPerOp() float64 {
+	if r.Ops == 0 {
+		return 0
+	}
+	return float64(r.AllocBytes) / float64(r.Ops)
+}
+
+// SLO is a run's verdict against the configured p99 budget.
+type SLO struct {
+	Budget     time.Duration `json:"budget_ns"`
+	P99        time.Duration `json:"p99_ns"`
+	Met        bool          `json:"met"`
+	OverBudget uint64        `json:"over_budget"`
+	// BurnRate is (fraction of responses over budget) / 0.01: how fast
+	// the 1% error budget a p99 target grants is being consumed. ≤ 1
+	// means within budget, 2 means burning twice as fast as allowed.
+	BurnRate float64 `json:"burn_rate"`
+}
+
+// SLO evaluates the run against Cfg.SLOP99; ok is false when no
+// budget was configured.
+func (r *Result) SLO() (slo SLO, ok bool) {
+	if r.Cfg.SLOP99 <= 0 {
+		return SLO{}, false
+	}
+	_, _, p99 := r.Latency.Percentiles()
+	slo = SLO{
+		Budget:     r.Cfg.SLOP99,
+		P99:        time.Duration(p99),
+		Met:        p99 <= r.Cfg.SLOP99.Nanoseconds(),
+		OverBudget: r.OverBudget,
+	}
+	if r.Ops > 0 {
+		slo.BurnRate = float64(r.OverBudget) / float64(r.Ops) / 0.01
+	}
+	return slo, true
 }
 
 // OpsPerSec returns the aggregate throughput.
@@ -113,21 +179,38 @@ func (r *Result) mode() string {
 }
 
 // String renders the one-line summary cmd/pimload prints (and CI
-// greps).
+// greps), followed by an SLO verdict line when a budget is set.
 func (r *Result) String() string {
 	p50, p95, p99 := r.Latency.Percentiles()
-	return fmt.Sprintf("pimload: %d ops in %.2fs = %.0f ops/s (%s, %d conns, pipeline %d; p50=%s p95=%s p99=%s; %d errors)",
+	s := fmt.Sprintf("pimload: %d ops in %.2fs = %.0f ops/s (%s, %d conns, pipeline %d; p50=%s p95=%s p99=%s; %d errors; %.1f allocs/op)",
 		r.Ops, r.Elapsed.Seconds(), r.OpsPerSec(), r.mode(), r.Cfg.Conns, r.Cfg.Pipeline,
-		time.Duration(p50), time.Duration(p95), time.Duration(p99), r.Errors)
+		time.Duration(p50), time.Duration(p95), time.Duration(p99), r.Errors, r.AllocsPerOp())
+	if slo, ok := r.SLO(); ok {
+		verdict := "PASS"
+		if !slo.Met {
+			verdict = "FAIL"
+		}
+		s += fmt.Sprintf("\npimload: SLO p99≤%s: %s (p99=%s, %d/%d over budget, burn %.2f)",
+			slo.Budget, verdict, slo.P99, slo.OverBudget, r.Ops, slo.BurnRate)
+	}
+	return s
 }
 
 // Report renders the run as a benchfmt report comparable by benchdiff.
+// The allocation columns are client-side costs per completed op (see
+// AllocsPerOp); "slo burn" is the error-budget burn rate, or a
+// placeholder when no budget was configured so runs with and without
+// an SLO still align structurally.
 func (r *Result) Report() *benchfmt.Report {
 	p50, p95, p99 := r.Latency.Percentiles()
+	burn := "—"
+	if slo, ok := r.SLO(); ok {
+		burn = fmt.Sprintf("%.2f", slo.BurnRate)
+	}
 	tab := benchfmt.Table{
 		Title:   fmt.Sprintf("pimload — %s workload", r.Cfg.Structure),
 		Note:    fmt.Sprintf("dist %s, addr %s", r.Cfg.Dist.Name(), r.Cfg.Addr),
-		Columns: []string{"conns", "mode", "pipeline", "ops/s", "p50 latency", "p95 latency", "p99 latency", "errors"},
+		Columns: []string{"conns", "mode", "pipeline", "ops/s", "p50 latency", "p95 latency", "p99 latency", "errors", "allocs/op", "B/op", "slo burn"},
 		Rows: [][]string{{
 			fmt.Sprint(r.Cfg.Conns),
 			r.mode(),
@@ -137,6 +220,9 @@ func (r *Result) Report() *benchfmt.Report {
 			time.Duration(p95).String(),
 			time.Duration(p99).String(),
 			fmt.Sprint(r.Errors),
+			fmt.Sprintf("%.2f", r.AllocsPerOp()),
+			fmt.Sprintf("%.0f", r.BytesPerOp()),
+			burn,
 		}},
 	}
 	return &benchfmt.Report{
@@ -156,13 +242,46 @@ type opStream struct {
 	structure string
 	gen       *harness.Generator
 	nextID    uint64
+	trng      uint64 // trace-sampling xorshift64 state
+	traceBar  uint64 // sample a frame when the next draw ≤ this
 }
 
 func newOpStream(cfg Config, conn int) *opStream {
-	return &opStream{
+	st := &opStream{
 		structure: cfg.Structure,
 		gen:       harness.NewGenerator(cfg.Seed+int64(conn)*7919, cfg.Dist, cfg.Mix),
 	}
+	if cfg.TraceSample > 0 {
+		if cfg.TraceSample >= 1 {
+			st.traceBar = ^uint64(0)
+		} else {
+			st.traceBar = uint64(cfg.TraceSample * float64(1<<63) * 2)
+		}
+		// Splitmix64 round over the connection seed: distinct nonzero
+		// trace streams per connection.
+		z := uint64(cfg.Seed+int64(conn)*7919)*0x9e3779b97f4a7c15 + 0xbf58476d1ce4e5b9
+		z ^= z >> 30
+		z *= 0x94d049bb133111eb
+		st.trng = z | 1
+	}
+	return st
+}
+
+// traceFrame draws the per-frame sampling decision and, for sampled
+// frames, mints a nonzero trace ID from the same seeded stream.
+func (st *opStream) traceFrame() (wire.TraceContext, bool) {
+	if st.traceBar == 0 {
+		return wire.TraceContext{}, false
+	}
+	x := st.trng
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	st.trng = x
+	if x > st.traceBar {
+		return wire.TraceContext{}, false
+	}
+	return wire.TraceContext{TraceID: x, Sampled: true}, true
 }
 
 // next returns the next operation. For queue/stack the set mix maps
@@ -223,12 +342,13 @@ func Run(cfg Config) (*Result, error) {
 
 	res := &Result{Cfg: cfg, Latency: &obs.Histogram{}}
 	var (
-		ops    atomic.Uint64
-		errs   atomic.Uint64
+		ctr    counters
 		stop   = make(chan struct{})
 		wg     sync.WaitGroup
 		runErr atomic.Value
 	)
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
 	start := time.Now()
 	time.AfterFunc(cfg.Duration, func() { close(stop) })
 	for i, nc := range conns {
@@ -238,9 +358,9 @@ func Run(cfg Config) (*Result, error) {
 			defer nc.Close()
 			var err error
 			if cfg.Rate > 0 {
-				err = openLoop(cfg, newOpStream(cfg, i), nc, stop, &ops, &errs, res.Latency)
+				err = openLoop(cfg, newOpStream(cfg, i), nc, stop, &ctr, res.Latency)
 			} else {
-				err = closedLoop(cfg, newOpStream(cfg, i), nc, stop, &ops, &errs, res.Latency)
+				err = closedLoop(cfg, newOpStream(cfg, i), nc, stop, &ctr, res.Latency)
 			}
 			if err != nil {
 				runErr.CompareAndSwap(nil, err)
@@ -249,19 +369,45 @@ func Run(cfg Config) (*Result, error) {
 	}
 	wg.Wait()
 	res.Elapsed = time.Since(start)
-	res.Ops = ops.Load()
-	res.Errors = errs.Load()
+	runtime.ReadMemStats(&m1)
+	res.Ops = ctr.ops.Load()
+	res.Errors = ctr.errs.Load()
+	res.OverBudget = ctr.over.Load()
+	res.TracedFrames = ctr.traced.Load()
+	res.Allocs = m1.Mallocs - m0.Mallocs
+	res.AllocBytes = m1.TotalAlloc - m0.TotalAlloc
 	if err, _ := runErr.Load().(error); err != nil {
 		return res, err
 	}
 	return res, nil
 }
 
+// counters aggregates per-connection tallies across the run.
+type counters struct {
+	ops    atomic.Uint64 // responses received
+	errs   atomic.Uint64 // non-OK responses
+	over   atomic.Uint64 // responses over the SLO budget
+	traced atomic.Uint64 // request frames sent with trace context
+}
+
+// observe records one response latency, tallying SLO budget overruns.
+func (c *counters) observe(lat *obs.Histogram, d int64, budget int64, status wire.Status) {
+	lat.Observe(d)
+	c.ops.Add(1)
+	if status != wire.StatusOK {
+		c.errs.Add(1)
+	}
+	if budget > 0 && d > budget {
+		c.over.Add(1)
+	}
+}
+
 // closedLoop keeps exactly Pipeline operations outstanding: send one
 // request frame of Pipeline ops, wait for all responses, repeat.
-func closedLoop(cfg Config, st *opStream, nc net.Conn, stop <-chan struct{}, ops, errs *atomic.Uint64, lat *obs.Histogram) error {
+func closedLoop(cfg Config, st *opStream, nc net.Conn, stop <-chan struct{}, ctr *counters, lat *obs.Histogram) error {
 	br := bufio.NewReaderSize(nc, 64<<10)
 	bw := bufio.NewWriterSize(nc, 64<<10)
+	budget := cfg.SLOP99.Nanoseconds()
 	batch := make([]wire.Op, cfg.Pipeline)
 	var out, payload []byte
 	var results []wire.Result
@@ -275,7 +421,12 @@ func closedLoop(cfg Config, st *opStream, nc net.Conn, stop <-chan struct{}, ops
 		for i := range batch {
 			batch[i] = st.next()
 		}
-		out, err = wire.AppendRequest(out[:0], batch)
+		if tc, traced := st.traceFrame(); traced {
+			out, err = wire.AppendRequestTraced(out[:0], batch, tc)
+			ctr.traced.Add(1)
+		} else {
+			out, err = wire.AppendRequest(out[:0], batch)
+		}
 		if err != nil {
 			return err
 		}
@@ -297,11 +448,7 @@ func closedLoop(cfg Config, st *opStream, nc net.Conn, stop <-chan struct{}, ops
 			}
 			d := time.Since(t0).Nanoseconds()
 			for _, r := range results {
-				lat.Observe(d)
-				ops.Add(1)
-				if r.Status != wire.StatusOK {
-					errs.Add(1)
-				}
+				ctr.observe(lat, d, budget, r.Status)
 			}
 			seen += len(results)
 		}
@@ -313,12 +460,13 @@ func closedLoop(cfg Config, st *opStream, nc net.Conn, stop <-chan struct{}, ops
 // server degrades to closed-loop instead of unbounded queueing
 // (coordinated omission applies past that point, as with any bounded
 // injector).
-func openLoop(cfg Config, st *opStream, nc net.Conn, stop <-chan struct{}, ops, errs *atomic.Uint64, lat *obs.Histogram) error {
+func openLoop(cfg Config, st *opStream, nc net.Conn, stop <-chan struct{}, ctr *counters, lat *obs.Histogram) error {
 	perConn := cfg.Rate / float64(cfg.Conns)
 	if perConn <= 0 {
 		return fmt.Errorf("loadgen: open-loop rate %.1f too low for %d conns", cfg.Rate, cfg.Conns)
 	}
 	interval := time.Duration(float64(time.Second) / perConn)
+	budget := cfg.SLOP99.Nanoseconds()
 	maxOut := cfg.Pipeline * 64
 
 	var (
@@ -352,11 +500,7 @@ func openLoop(cfg Config, st *opStream, nc net.Conn, stop <-chan struct{}, ops, 
 			for _, r := range results {
 				if t0, ok := sent[r.ID]; ok {
 					delete(sent, r.ID)
-					lat.Observe(now.Sub(t0).Nanoseconds())
-					ops.Add(1)
-					if r.Status != wire.StatusOK {
-						errs.Add(1)
-					}
+					ctr.observe(lat, now.Sub(t0).Nanoseconds(), budget, r.Status)
 					<-slots
 				}
 			}
@@ -388,7 +532,12 @@ send:
 		mu.Lock()
 		sent[op.ID] = time.Now()
 		mu.Unlock()
-		out, err = wire.AppendRequest(out[:0], []wire.Op{op})
+		if tc, traced := st.traceFrame(); traced {
+			out, err = wire.AppendRequestTraced(out[:0], []wire.Op{op}, tc)
+			ctr.traced.Add(1)
+		} else {
+			out, err = wire.AppendRequest(out[:0], []wire.Op{op})
+		}
 		if err != nil {
 			return err
 		}

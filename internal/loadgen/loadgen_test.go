@@ -198,6 +198,59 @@ func TestZipfLoadSkewsShards(t *testing.T) {
 	}
 }
 
+func TestTraceOriginationAndSLO(t *testing.T) {
+	// Server-side sampling off: every span the server records below
+	// must come from the client's traced frames.
+	srv, addr, reg := startServer(t, server.Config{
+		Structure: server.StructSkip, Shards: 2, KeySpace: 1 << 12,
+	})
+	res, err := loadgen.Run(loadgen.Config{
+		Addr:        addr,
+		Conns:       4,
+		Pipeline:    8,
+		Duration:    200 * time.Millisecond,
+		Dist:        harness.Uniform{N: 1 << 12},
+		Seed:        13,
+		TraceSample: 1,
+		SLOP99:      10 * time.Second, // generous: must PASS
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops == 0 {
+		t.Fatal("no operations completed")
+	}
+	if res.TracedFrames == 0 {
+		t.Fatal("TraceSample=1 sent no traced frames")
+	}
+	slo, ok := res.SLO()
+	if !ok || !slo.Met || slo.OverBudget != 0 || slo.BurnRate != 0 {
+		t.Fatalf("10s budget should pass cleanly: %+v (ok=%v)", slo, ok)
+	}
+	if burn := res.Report().Experiments[0].Tables[0].Rows[0][10]; burn != "0.00" {
+		t.Errorf("report burn cell = %q, want 0.00", burn)
+	}
+	srv.Shutdown()
+	if got := reg.Snapshot().Counters["server/trace/sampled"]; got != res.Ops {
+		t.Errorf("server sampled %d ops, want every one of the client's %d (client-originated tracing)", got, res.Ops)
+	}
+	if spans := srv.TraceSpans(); len(spans) == 0 {
+		t.Error("no spans recorded from client-originated trace frames")
+	}
+
+	// An impossible 1ns budget must FAIL with every response burning.
+	impossible := res
+	impossible.Cfg.SLOP99 = time.Nanosecond
+	impossible.OverBudget = impossible.Ops
+	slo, ok = impossible.SLO()
+	if !ok || slo.Met {
+		t.Fatalf("1ns budget cannot be met: %+v", slo)
+	}
+	if slo.BurnRate < 99 {
+		t.Errorf("all-over-budget burn rate %.2f, want ≈100", slo.BurnRate)
+	}
+}
+
 func TestReportIsBenchfmtComparable(t *testing.T) {
 	_, addr, _ := startServer(t, server.Config{Structure: server.StructHash})
 	run := func() *benchfmt.Report {
@@ -218,10 +271,16 @@ func TestReportIsBenchfmtComparable(t *testing.T) {
 	// are what benchdiff watches for regressions.
 	tab := a.Experiments[0].Tables[0]
 	row := tab.Rows[0]
-	for _, col := range []int{3, 4, 5, 6, 7} {
+	// ops/s, the latency percentiles, errors, and the allocation
+	// columns must all parse; "slo burn" is a placeholder when no
+	// budget is configured.
+	for _, col := range []int{3, 4, 5, 6, 7, 8, 9} {
 		if _, ok := benchfmt.ParseCell(row[col]); !ok {
 			t.Errorf("column %q cell %q is not numeric", tab.Columns[col], row[col])
 		}
+	}
+	if burn := row[10]; burn != "—" {
+		t.Errorf("slo burn cell without a budget = %q, want placeholder", burn)
 	}
 	// Compare must align the two runs structurally (throughput deltas
 	// are expected; structural findings are not).

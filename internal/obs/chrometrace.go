@@ -1,0 +1,95 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// ChromeWriter streams Chrome trace-event JSON (the format
+// chrome://tracing and Perfetto load) to an io.Writer. It owns only
+// the event encoding and the enclosing JSON array; what the events
+// mean is the caller's business — the simulator's virtual-time tracer
+// (sim.ChromeTracer) and pimserve's wall-clock span exporter both
+// emit through it, which is what lets simulator and server traces
+// open in the same viewer.
+//
+// The writer buffers nothing: events stream to W as they fire. Call
+// Close to terminate the JSON array. Timestamps and durations are in
+// trace microseconds (the format's unit); the caller picks the clock.
+type ChromeWriter struct {
+	w   io.Writer
+	n   int // events written
+	err error
+}
+
+// NewChromeWriter returns a writer streaming trace events to w.
+func NewChromeWriter(w io.Writer) *ChromeWriter {
+	return &ChromeWriter{w: w}
+}
+
+// TraceEvent is one Chrome trace event. Fields follow the trace-event
+// format; Ts and Dur are microseconds.
+type TraceEvent struct {
+	Name string                 `json:"name"`
+	Cat  string                 `json:"cat,omitempty"`
+	Ph   string                 `json:"ph"`
+	Ts   float64                `json:"ts"`
+	Dur  *float64               `json:"dur,omitempty"`
+	Pid  int                    `json:"pid"`
+	Tid  int                    `json:"tid"`
+	ID   string                 `json:"id,omitempty"`
+	Args map[string]interface{} `json:"args,omitempty"`
+}
+
+// Emit writes one event, managing the enclosing JSON array. Errors are
+// sticky and reported by Close.
+func (t *ChromeWriter) Emit(ev TraceEvent) {
+	if t.err != nil {
+		return
+	}
+	b, err := json.Marshal(ev)
+	if err != nil {
+		t.err = err
+		return
+	}
+	sep := ",\n"
+	if t.n == 0 {
+		sep = "[\n"
+	}
+	if _, err := io.WriteString(t.w, sep); err != nil {
+		t.err = err
+		return
+	}
+	if _, err := t.w.Write(b); err != nil {
+		t.err = err
+		return
+	}
+	t.n++
+}
+
+// Complete emits a complete ("X") slice of dur microseconds starting
+// at ts on the pid/tid track.
+func (t *ChromeWriter) Complete(name, cat string, ts, dur float64, pid, tid int, args map[string]interface{}) {
+	t.Emit(TraceEvent{Name: name, Cat: cat, Ph: "X", Ts: ts, Dur: &dur, Pid: pid, Tid: tid, Args: args})
+}
+
+// ThreadName emits a thread_name metadata event naming the pid/tid
+// track. Callers deduplicate; the writer emits unconditionally.
+func (t *ChromeWriter) ThreadName(pid, tid int, name string) {
+	t.Emit(TraceEvent{Name: "thread_name", Ph: "M", Pid: pid, Tid: tid,
+		Args: map[string]interface{}{"name": name}})
+}
+
+// Close terminates the JSON array and reports any write error. The
+// writer is unusable afterwards.
+func (t *ChromeWriter) Close() error {
+	if t.err != nil {
+		return t.err
+	}
+	open := "[\n"
+	if t.n > 0 {
+		open = ""
+	}
+	_, err := io.WriteString(t.w, open+"\n]\n")
+	return err
+}

@@ -1,0 +1,154 @@
+package obs
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// TestHistogramMergePercentileBracket is the merge property test: fold
+// several independently (and concurrently) recorded histograms into
+// one, and the merged percentiles must bracket the per-source
+// percentiles — a mixture's q-quantile can never undercut every
+// source's q-quantile nor exceed every source's, and with a shared
+// bucket layout the same holds for the bucketized values.
+func TestHistogramMergePercentileBracket(t *testing.T) {
+	const (
+		sources   = 5
+		writers   = 4
+		perWriter = 2000
+		quantiles = 3
+	)
+	qs := [quantiles]float64{0.50, 0.95, 0.99}
+
+	srcs := make([]*Histogram, sources)
+	var wg sync.WaitGroup
+	for i := range srcs {
+		srcs[i] = &Histogram{}
+		// Each source records from several goroutines at once: the
+		// property must hold for histograms built under contention,
+		// and -race checks the recording path itself.
+		for w := 0; w < writers; w++ {
+			wg.Add(1)
+			go func(h *Histogram, seed int64) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(seed))
+				for k := 0; k < perWriter; k++ {
+					// Spread sources over different octaves so their
+					// percentiles genuinely differ.
+					h.Observe(1 + rng.Int63n(1000)<<(uint(seed)%7))
+				}
+			}(srcs[i], int64(i*writers+w+1))
+		}
+	}
+	wg.Wait()
+
+	merged := &Histogram{}
+	var wantN uint64
+	for _, src := range srcs {
+		merged.Merge(src)
+		wantN += src.N()
+	}
+	if merged.N() != wantN {
+		t.Fatalf("merged count %d, want %d", merged.N(), wantN)
+	}
+	var wantSum int64
+	for _, src := range srcs {
+		wantSum += src.sum.Load()
+	}
+	if got := merged.sum.Load(); got != wantSum {
+		t.Fatalf("merged sum %d, want %d", got, wantSum)
+	}
+
+	for _, q := range qs {
+		lo, hi := srcs[0].Quantile(q), srcs[0].Quantile(q)
+		for _, src := range srcs[1:] {
+			v := src.Quantile(q)
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		got := merged.Quantile(q)
+		if got < lo || got > hi {
+			t.Errorf("q=%.2f: merged %d outside per-source bracket [%d, %d]", q, got, lo, hi)
+		}
+	}
+
+	// Max must be the max of the sources.
+	var wantMax int64
+	for _, src := range srcs {
+		if m := src.Max(); m > wantMax {
+			wantMax = m
+		}
+	}
+	if merged.Max() != wantMax {
+		t.Errorf("merged max %d, want %d", merged.Max(), wantMax)
+	}
+}
+
+func TestHistogramMergeNilSafe(t *testing.T) {
+	var nilH *Histogram
+	nilH.Merge(&Histogram{}) // must not panic
+	h := &Histogram{}
+	h.Observe(5)
+	h.Merge(nil)
+	if h.N() != 1 {
+		t.Fatalf("merge(nil) changed the histogram: n=%d", h.N())
+	}
+}
+
+// TestHistogramSnapshotConsistent hammers a histogram with concurrent
+// observers while snapshotting: every snapshot must be internally
+// consistent — its quantiles computed from exactly the bucket state
+// its count reflects, so p50 ≤ p95 ≤ p99 ≤ max and a nonzero count
+// implies nonzero quantiles.
+func TestHistogramSnapshotConsistent(t *testing.T) {
+	h := &Histogram{}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					h.Observe(1 + rng.Int63n(1<<20))
+				}
+			}
+		}(int64(w + 1))
+	}
+	for i := 0; i < 200; i++ {
+		s := h.Snapshot()
+		if s.Count == 0 {
+			continue
+		}
+		if s.P50 == 0 || s.P95 == 0 || s.P99 == 0 {
+			t.Fatalf("snapshot with count %d has zero quantile: %+v", s.Count, s)
+		}
+		if s.P50 > s.P95 || s.P95 > s.P99 {
+			t.Fatalf("quantiles not monotone: %+v", s)
+		}
+		if s.P99 > s.Max {
+			t.Fatalf("p99 %d above max %d", s.P99, s.Max)
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	// At quiescence the snapshot must agree with the accessors.
+	s := h.Snapshot()
+	if s.Count != h.N() || s.Max != h.Max() {
+		t.Fatalf("quiescent snapshot %+v disagrees with N=%d Max=%d", s, h.N(), h.Max())
+	}
+	p50, p95, p99 := h.Percentiles()
+	if s.P50 != p50 || s.P95 != p95 || s.P99 != p99 {
+		t.Fatalf("quiescent snapshot %+v disagrees with percentiles %d/%d/%d", s, p50, p95, p99)
+	}
+}

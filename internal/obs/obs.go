@@ -227,3 +227,75 @@ func (h *Histogram) Quantile(q float64) int64 {
 func (h *Histogram) Percentiles() (p50, p95, p99 int64) {
 	return h.Quantile(0.50), h.Quantile(0.95), h.Quantile(0.99)
 }
+
+// Merge folds o's observations into h. Both histograms share the same
+// bucket layout, so merging is exact. Merge is safe to call while
+// either histogram is still receiving Observe calls (all accesses are
+// atomic), but a merge concurrent with recording naturally captures
+// only the observations that landed before it read each bucket; merge
+// quiescent sources when an exact fold matters. A nil h or o is a
+// no-op.
+func (h *Histogram) Merge(o *Histogram) {
+	if h == nil || o == nil {
+		return
+	}
+	for i := range o.counts {
+		if c := o.counts[i].Load(); c > 0 {
+			h.counts[i].Add(c)
+		}
+	}
+	h.total.Add(o.total.Load())
+	h.sum.Add(o.sum.Load())
+	om := o.max.Load()
+	for {
+		cur := h.max.Load()
+		if om <= cur || h.max.CompareAndSwap(cur, om) {
+			break
+		}
+	}
+}
+
+// Snapshot summarizes the histogram under one consistent read: the
+// bucket array is copied once and the count and quantiles are derived
+// from that single copy, so a snapshot taken while recorders are
+// observing can never report quantiles that disagree with its own
+// count (the per-method accessors each re-read shared state and can).
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	if h == nil {
+		return HistogramSnapshot{}
+	}
+	var counts [64 * histSub]uint64
+	var total uint64
+	// Observe increments the bucket before the total, so a full bucket
+	// scan sees at least every observation a prior total read covers.
+	for i := range h.counts {
+		c := h.counts[i].Load()
+		counts[i] = c
+		total += c
+	}
+	snap := HistogramSnapshot{
+		Count: total,
+		Max:   h.max.Load(),
+		Sum:   h.sum.Load(),
+	}
+	if total == 0 {
+		return snap
+	}
+	snap.Mean = float64(snap.Sum) / float64(total)
+	q := func(q float64) int64 {
+		rank := uint64(q * float64(total-1))
+		var seen uint64
+		for i, c := range counts {
+			if c == 0 {
+				continue
+			}
+			seen += c
+			if seen > rank {
+				return bucketLow(i)
+			}
+		}
+		return 0
+	}
+	snap.P50, snap.P95, snap.P99 = q(0.50), q(0.95), q(0.99)
+	return snap
+}

@@ -1,0 +1,152 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Prometheus text-format export. The registry's slash-separated metric
+// names are mapped to Prometheus metric families by a PromNamer;
+// counters become counter families, gauges and float gauges become
+// gauge families, and histograms become summary families (quantile
+// series plus _sum, _count and a _max gauge). The output follows the
+// Prometheus text exposition format version 0.0.4, one family per
+// HELP/TYPE block, families and series in sorted order so successive
+// scrapes of the same state are byte-identical.
+
+// PromNamer maps a registry metric name to a Prometheus family name
+// and a (possibly empty) set of labels. Implementations must return a
+// valid metric name ([a-zA-Z_:][a-zA-Z0-9_:]*); labels must have valid
+// label names. Returning ok=false drops the metric from the export.
+type PromNamer func(name string) (family string, labels []PromLabel, ok bool)
+
+// PromLabel is one name="value" pair on an exported series.
+type PromLabel struct {
+	Name  string
+	Value string
+}
+
+var promInvalid = regexp.MustCompile(`[^a-zA-Z0-9_:]`)
+
+// PromSanitize is the default namer: every run of characters that is
+// illegal in a Prometheus metric name becomes one underscore
+// ("server/ops/total" → "server_ops_total"), and a leading digit gets
+// an underscore prefix. No labels are produced.
+func PromSanitize(name string) (string, []PromLabel, bool) {
+	s := promInvalid.ReplaceAllString(name, "_")
+	if s == "" {
+		return "", nil, false
+	}
+	if s[0] >= '0' && s[0] <= '9' {
+		s = "_" + s
+	}
+	return s, nil, true
+}
+
+// promSeries is one sample line within a family.
+type promSeries struct {
+	labels string // rendered {…} block, "" for none
+	value  string
+}
+
+// promFamily accumulates the series of one family.
+type promFamily struct {
+	typ    string // counter | gauge | summary
+	series []promSeries
+}
+
+// renderLabels joins labels (plus extras) into a {…} block.
+func renderLabels(labels []PromLabel, extra ...PromLabel) string {
+	all := append(append([]PromLabel(nil), labels...), extra...)
+	if len(all) == 0 {
+		return ""
+	}
+	parts := make([]string, len(all))
+	for i, l := range all {
+		parts[i] = l.Name + "=" + strconv.Quote(l.Value)
+	}
+	sort.Strings(parts)
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+func promFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus exports the registry's current state in Prometheus
+// text format. namer maps registry names to families and labels; nil
+// uses PromSanitize. A nil registry writes nothing.
+func (r *Registry) WritePrometheus(w io.Writer, namer PromNamer) error {
+	if r == nil {
+		return nil
+	}
+	if namer == nil {
+		namer = PromSanitize
+	}
+	snap := r.Snapshot()
+	fams := make(map[string]*promFamily)
+	add := func(name, typ string, extra []PromLabel, value string) {
+		fam, labels, ok := namer(name)
+		if !ok {
+			return
+		}
+		f := fams[fam]
+		if f == nil {
+			f = &promFamily{typ: typ}
+			fams[fam] = f
+		}
+		f.series = append(f.series, promSeries{labels: renderLabels(labels, extra...), value: value})
+	}
+
+	for name, v := range snap.Counters {
+		add(name, "counter", nil, strconv.FormatUint(v, 10))
+	}
+	for name, v := range snap.Gauges {
+		add(name, "gauge", nil, strconv.FormatInt(v, 10))
+	}
+	for name, v := range snap.Floats {
+		add(name, "gauge", nil, promFloat(v))
+	}
+	for name, h := range snap.Histograms {
+		for _, q := range []struct {
+			q string
+			v int64
+		}{{"0.5", h.P50}, {"0.95", h.P95}, {"0.99", h.P99}} {
+			add(name, "summary", []PromLabel{{"quantile", q.q}}, strconv.FormatInt(q.v, 10))
+		}
+		add(name+"_sum", "counter", nil, strconv.FormatInt(h.Sum, 10))
+		add(name+"_count", "counter", nil, strconv.FormatUint(h.Count, 10))
+		add(name+"_max", "gauge", nil, strconv.FormatInt(h.Max, 10))
+	}
+
+	names := make([]string, 0, len(fams))
+	for name := range fams {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var sb strings.Builder
+	for _, name := range names {
+		f := fams[name]
+		// _sum/_count of a summary are implied by the family; only
+		// standalone families get TYPE lines.
+		base := strings.TrimSuffix(strings.TrimSuffix(name, "_sum"), "_count")
+		if base != name {
+			if bf, ok := fams[base]; ok && bf.typ == "summary" {
+				f.typ = ""
+			}
+		}
+		if f.typ != "" {
+			fmt.Fprintf(&sb, "# TYPE %s %s\n", name, f.typ)
+		}
+		sort.Slice(f.series, func(i, j int) bool { return f.series[i].labels < f.series[j].labels })
+		for _, s := range f.series {
+			fmt.Fprintf(&sb, "%s%s %s\n", name, s.labels, s.value)
+		}
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}

@@ -1,0 +1,152 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// promLine matches one sample line of the text exposition format:
+// name{labels} value.
+var promLine = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="[^"]*"(,[a-zA-Z_][a-zA-Z0-9_]*="[^"]*")*\})? -?[0-9.eE+-]+$`)
+
+func TestWritePrometheusParseable(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("server/ops/total").Add(42)
+	r.Gauge("server/conns/open").Set(7)
+	r.FloatGauge("vault/imbalance").Set(1.25)
+	h := r.Histogram("server/op_latency_ns")
+	for i := int64(1); i <= 1000; i++ {
+		h.Observe(i * 100)
+	}
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	types := map[string]string{}
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		if strings.HasPrefix(line, "# TYPE ") {
+			fields := strings.Fields(line)
+			if len(fields) != 4 {
+				t.Fatalf("malformed TYPE line: %q", line)
+			}
+			types[fields[2]] = fields[3]
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !promLine.MatchString(line) {
+			t.Errorf("unparseable sample line: %q", line)
+		}
+	}
+
+	for fam, typ := range map[string]string{
+		"server_ops_total":         "counter",
+		"server_conns_open":        "gauge",
+		"vault_imbalance":          "gauge",
+		"server_op_latency_ns":     "summary",
+		"server_op_latency_ns_max": "gauge",
+	} {
+		if types[fam] != typ {
+			t.Errorf("family %s: TYPE %q, want %q", fam, types[fam], typ)
+		}
+	}
+	// Summary components carry no TYPE of their own.
+	if _, ok := types["server_op_latency_ns_sum"]; ok {
+		t.Error("summary _sum must not get its own TYPE line")
+	}
+	for _, want := range []string{
+		"server_ops_total 42\n",
+		"server_conns_open 7\n",
+		"vault_imbalance 1.25\n",
+		`server_op_latency_ns{quantile="0.5"} `,
+		"server_op_latency_ns_count 1000\n",
+		"server_op_latency_ns_sum ",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+
+	// Determinism: a second export of the same state is byte-identical.
+	var buf2 bytes.Buffer
+	if err := r.WritePrometheus(&buf2, nil); err != nil {
+		t.Fatal(err)
+	}
+	if buf2.String() != out {
+		t.Error("two exports of the same state differ")
+	}
+}
+
+func TestWritePrometheusCustomNamer(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("server/shard/007/combines").Add(3)
+	r.Counter("server/shard/012/combines").Add(5)
+	r.Counter("private/thing").Inc()
+	namer := func(name string) (string, []PromLabel, bool) {
+		if strings.HasPrefix(name, "private/") {
+			return "", nil, false
+		}
+		if rest, ok := strings.CutPrefix(name, "server/shard/"); ok {
+			shard, metric, _ := strings.Cut(rest, "/")
+			fam, _, _ := PromSanitize("server/shard/" + metric)
+			return fam, []PromLabel{{"shard", strings.TrimLeft(shard, "0")}}, true
+		}
+		return PromSanitize(name)
+	}
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf, namer); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, `server_shard_combines{shard="7"} 3`) ||
+		!strings.Contains(out, `server_shard_combines{shard="12"} 5`) {
+		t.Errorf("labelled series missing:\n%s", out)
+	}
+	if strings.Count(out, "# TYPE server_shard_combines counter") != 1 {
+		t.Errorf("labelled family must share one TYPE line:\n%s", out)
+	}
+	if strings.Contains(out, "private") {
+		t.Errorf("dropped metric leaked:\n%s", out)
+	}
+}
+
+func TestChromeWriterValidJSON(t *testing.T) {
+	var buf bytes.Buffer
+	cw := NewChromeWriter(&buf)
+	cw.ThreadName(1, 3, "shard 3")
+	cw.Complete("apply", "span", 10.5, 2.25, 1, 3, map[string]interface{}{"trace": "0xabc"})
+	cw.Emit(TraceEvent{Name: "msg", Ph: "b", Ts: 1, Pid: 1, Tid: 2, ID: "0x1"})
+	if err := cw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]interface{}
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatalf("output is not a JSON array: %v\n%s", err, buf.String())
+	}
+	if len(events) != 3 {
+		t.Fatalf("got %d events, want 3", len(events))
+	}
+	if events[1]["ph"] != "X" || events[1]["dur"] != 2.25 {
+		t.Errorf("complete slice malformed: %+v", events[1])
+	}
+}
+
+func TestChromeWriterEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := NewChromeWriter(&buf).Close(); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]interface{}
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatalf("empty trace is not valid JSON: %v\n%q", err, buf.String())
+	}
+	if len(events) != 0 {
+		t.Fatalf("empty writer produced %d events", len(events))
+	}
+}

@@ -112,6 +112,7 @@ type HistogramSnapshot struct {
 	Count uint64  `json:"count"`
 	Mean  float64 `json:"mean"`
 	Max   int64   `json:"max"`
+	Sum   int64   `json:"sum"`
 	P50   int64   `json:"p50"`
 	P95   int64   `json:"p95"`
 	P99   int64   `json:"p99"`
@@ -158,11 +159,10 @@ func (r *Registry) Snapshot() *Snapshot {
 		s.Floats[name] = g.Value()
 	}
 	for name, h := range r.hists {
-		p50, p95, p99 := h.Percentiles()
-		s.Histograms[name] = HistogramSnapshot{
-			Count: h.N(), Mean: h.Mean(), Max: h.Max(),
-			P50: p50, P95: p95, P99: p99,
-		}
+		// One consistent read per histogram: scrapes racing live
+		// recorders (or a graceful drain) must never see quantiles
+		// that disagree with their own count.
+		s.Histograms[name] = h.Snapshot()
 	}
 	return s
 }

@@ -1,0 +1,47 @@
+package prof
+
+import "testing"
+
+func TestTaxonomiesShareCardinality(t *testing.T) {
+	if NumServerComponents != numComponents {
+		t.Fatalf("server taxonomy has %d components, virtual-time taxonomy has %d; they must stay in lockstep",
+			NumServerComponents, numComponents)
+	}
+	if len(ServerComponents()) != len(Components()) {
+		t.Fatal("component name lists differ in length")
+	}
+}
+
+func TestServerComponentNamesStableAndUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for i := 0; i < NumServerComponents; i++ {
+		c := ServerComponent(i)
+		name := c.String()
+		if name == "" || name == "unknown" {
+			t.Errorf("component %d has no name", i)
+		}
+		if seen[name] {
+			t.Errorf("duplicate component name %q", name)
+		}
+		seen[name] = true
+	}
+	if ServerComponent(NumServerComponents).String() != "unknown" {
+		t.Error("out-of-range component must stringify as unknown")
+	}
+}
+
+func TestEveryServerComponentHasAnAnalog(t *testing.T) {
+	// Every virtual-time component that models a wait or work phase a
+	// real server also has must be claimed by at least one wall-clock
+	// component; the mapping documents the correspondence, and this
+	// pins it against silent drift when either side grows.
+	covered := map[Component]bool{}
+	for i := 0; i < NumServerComponents; i++ {
+		covered[ServerComponent(i).Analog()] = true
+	}
+	for _, want := range []Component{CompService, CompQueueing, CompCombiner, CompMemory, CompMessage} {
+		if !covered[want] {
+			t.Errorf("virtual-time component %s has no wall-clock analogue", want)
+		}
+	}
+}

@@ -81,6 +81,24 @@ type Config struct {
 	// Seed perturbs the skip-list tower generators. Default 1.
 	Seed int64
 
+	// TraceSample is the fraction of request frames ([0, 1]) the server
+	// samples for span recording on its own initiative. Zero traces
+	// nothing locally, but clients can still force individual frames
+	// into the sample via the traced-frame Sampled bit. Sampling is
+	// decided per frame in the reader with a per-connection generator,
+	// so the unsampled fast path costs one comparison.
+	TraceSample float64
+
+	// TraceRing is the per-shard capacity of the finished-span ring
+	// buffers behind TraceSpans and the ops endpoint's /trace export.
+	// Default 256.
+	TraceRing int
+
+	// SlowThreshold, when positive, logs every sampled request whose
+	// end-to-end latency meets it into the slow-request log (bounded,
+	// most recent kept) served at the ops endpoint's /slow.
+	SlowThreshold time.Duration
+
 	// Reg receives server metrics (nil disables instrumentation).
 	Reg *obs.Registry
 
@@ -117,6 +135,15 @@ type pendingOp struct {
 	op    wire.Op
 	conn  *conn
 	start int64 // ns since server epoch, stamped at decode
+	sp    *span // non-nil only for sampled requests
+}
+
+// delivery is one result handed from a combiner (or the reject path)
+// to a connection's writer, carrying the span along so the writer can
+// stamp encode/flush and finish it.
+type delivery struct {
+	res wire.Result
+	sp  *span
 }
 
 // conn is one client connection. The reader publishes ops and tracks
@@ -127,7 +154,8 @@ type pendingOp struct {
 type conn struct {
 	id  int
 	nc  net.Conn
-	out chan wire.Result
+	out chan delivery
+	rng uint64 // trace-sampling xorshift64 state; reader goroutine only
 
 	inflight sync.WaitGroup
 	closeOut sync.Once
@@ -136,8 +164,21 @@ type conn struct {
 
 // deliver hands one result to the connection's writer. Blocks when the
 // writer is behind (bounded by WriteTimeout failing the conn).
-func (c *conn) deliver(res wire.Result) {
-	c.out <- res
+func (c *conn) deliver(d delivery) {
+	c.out <- d
+}
+
+// sampleHit advances the connection's private xorshift64 state and
+// reports whether this frame falls inside the sample. Only the reader
+// goroutine calls it, so the state needs no synchronization; the
+// unsampled path is three shifts and a compare, no allocation.
+func (c *conn) sampleHit(threshold uint64) bool {
+	x := c.rng
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	c.rng = x
+	return x <= threshold
 }
 
 // Server is one pimserve instance. Create with New, run with Serve,
@@ -146,6 +187,7 @@ type Server struct {
 	cfg    Config
 	shards []*shard
 	epoch  time.Time
+	tr     *tracer
 
 	mu       sync.Mutex
 	ln       net.Listener
@@ -172,8 +214,9 @@ type Server struct {
 // shard is one combiner: a bounded publication queue plus the
 // sequential structure only its loop touches.
 type shard struct {
-	in chan pendingOp
-	be backend
+	idx int
+	in  chan pendingOp
+	be  backend
 
 	batchSize  *obs.Histogram
 	queueDepth *obs.Gauge
@@ -205,12 +248,14 @@ func New(cfg Config) (*Server, error) {
 		opsBad:     cfg.Reg.Counter("server/ops/rejected"),
 		opLatency:  cfg.Reg.Histogram("server/op_latency_ns"),
 	}
+	s.tr = newTracer(cfg, s.epoch)
 	for i := 0; i < cfg.Shards; i++ {
 		be, err := newBackend(cfg.Structure, i, cfg.Seed)
 		if err != nil {
 			return nil, err
 		}
 		sh := &shard{
+			idx:        i,
 			in:         make(chan pendingOp, cfg.QueueDepth),
 			be:         be,
 			batchSize:  cfg.Reg.Histogram(fmt.Sprintf("server/shard/%03d/batch_size", i)),
@@ -252,8 +297,15 @@ func (s *Server) Serve(ln net.Listener) error {
 		c := &conn{
 			id:  int(s.connSeq.Add(1)),
 			nc:  nc,
-			out: make(chan wire.Result, s.cfg.QueueDepth),
+			out: make(chan delivery, s.cfg.QueueDepth),
 		}
+		// Seed the sampler from the connection id via a splitmix64
+		// round: distinct nonzero streams per connection without any
+		// shared generator for readers to contend on.
+		z := uint64(c.id)*0x9e3779b97f4a7c15 + 0xbf58476d1ce4e5b9
+		z ^= z >> 30
+		z *= 0x94d049bb133111eb
+		c.rng = z | 1
 		s.mu.Lock()
 		if s.draining.Load() {
 			s.mu.Unlock()
@@ -311,11 +363,24 @@ func (s *Server) readLoop(c *conn) {
 			return
 		}
 		buf = payload[:0]
-		ops, err = wire.DecodeRequest(payload, ops[:0])
+		tFrame := s.now()
+		var tc wire.TraceContext
+		ops, tc, err = wire.DecodeRequestAny(payload, ops[:0])
 		if err != nil {
 			return
 		}
 		s.framesIn.Inc()
+		// One sampling decision per frame: the client's Sampled bit
+		// forces it, otherwise the connection-local generator draws.
+		// Everything span-shaped stays behind this flag.
+		sampled := tc.Sampled
+		if !sampled && s.tr.sampleThreshold > 0 {
+			sampled = c.sampleHit(s.tr.sampleThreshold)
+		}
+		traceID := tc.TraceID
+		if sampled && traceID == 0 {
+			traceID = s.tr.nextTraceID()
+		}
 		start := s.now()
 		for _, op := range ops {
 			if !kindSupported(s.cfg.Structure, op.Kind) {
@@ -330,8 +395,17 @@ func (s *Server) readLoop(c *conn) {
 			if setKinds(op.Kind) {
 				sh = s.shardFor(op.Key)
 			}
+			var sp *span
+			if sampled {
+				sp = &span{traceID: traceID, opID: op.ID, kind: op.Kind,
+					conn: c.id, shard: sh.idx, start: tFrame}
+				s.tr.sampled.Inc()
+			}
 			c.inflight.Add(1)
-			sh.in <- pendingOp{op: op, conn: c, start: start}
+			if sp != nil {
+				sp.pub = s.now()
+			}
+			sh.in <- pendingOp{op: op, conn: c, start: start, sp: sp}
 		}
 	}
 }
@@ -341,7 +415,7 @@ func (s *Server) readLoop(c *conn) {
 func (s *Server) reject(c *conn, res wire.Result) {
 	s.opsBad.Inc()
 	c.inflight.Add(1)
-	c.deliver(res)
+	c.deliver(delivery{res: res})
 	c.inflight.Done()
 }
 
@@ -355,13 +429,25 @@ func (s *Server) combineLoop(sh *shard) {
 		batch   []pendingOp
 		ops     []wire.Op
 		results []wire.Result
+		traced  bool // any span in the current batch
 	)
+	// take admits one op to the batch, stamping sampled ops' pickup
+	// time: everything before this instant is queue wait, everything
+	// until the batch executes is combine wait.
+	take := func(p pendingOp) {
+		if p.sp != nil {
+			p.sp.pick = s.now()
+			traced = true
+		}
+		batch = append(batch, p)
+	}
 	for {
 		p, ok := <-sh.in
 		if !ok {
 			return
 		}
-		batch = append(batch[:0], p)
+		batch, traced = batch[:0], false
+		take(p)
 	gather:
 		for len(batch) < s.cfg.BatchMax {
 			select {
@@ -369,7 +455,7 @@ func (s *Server) combineLoop(sh *shard) {
 				if !ok {
 					break gather
 				}
-				batch = append(batch, p)
+				take(p)
 			default:
 				break gather
 			}
@@ -383,12 +469,20 @@ func (s *Server) combineLoop(sh *shard) {
 					if !ok {
 						break linger
 					}
-					batch = append(batch, p)
+					take(p)
 				case <-timer.C:
 					break linger
 				}
 			}
 			timer.Stop()
+		}
+		if traced {
+			tApply := s.now()
+			for _, p := range batch {
+				if p.sp != nil {
+					p.sp.applyStart = tApply
+				}
+			}
 		}
 
 		ops = ops[:0]
@@ -409,7 +503,10 @@ func (s *Server) combineLoop(sh *shard) {
 		s.opsTotal.Add(uint64(len(batch)))
 		for i, p := range batch {
 			s.opLatency.Observe(end - p.start)
-			p.conn.deliver(results[i])
+			if p.sp != nil {
+				p.sp.applied = end
+			}
+			p.conn.deliver(delivery{res: results[i], sp: p.sp})
 			p.conn.inflight.Done()
 		}
 	}
@@ -451,44 +548,87 @@ func (s *Server) writeLoop(c *conn) {
 	bw := bufio.NewWriterSize(c.nc, 64<<10)
 	var buf []byte
 	batch := make([]wire.Result, 0, wire.MaxOpsPerFrame)
+	var spans, pending []*span // this frame's spans; encoded spans awaiting flush
 	for {
-		res, ok := <-c.out
+		d, ok := <-c.out
 		if !ok {
-			bw.Flush()
+			// Tail flush: spans already encoded finish here iff their
+			// bytes actually reached the socket.
+			if err := bw.Flush(); err != nil || c.failed.Load() {
+				s.tr.drop(len(pending))
+			} else {
+				s.finishFlushed(pending)
+			}
 			return
 		}
-		batch = append(batch[:0], res)
+		batch, spans = batch[:0], spans[:0]
+		batch = append(batch, d.res)
+		if d.sp != nil {
+			spans = append(spans, d.sp)
+		}
 	gather:
 		for len(batch) < wire.MaxOpsPerFrame {
 			select {
-			case res, ok := <-c.out:
+			case d, ok := <-c.out:
 				if !ok {
 					break gather
 				}
-				batch = append(batch, res)
+				batch = append(batch, d.res)
+				if d.sp != nil {
+					spans = append(spans, d.sp)
+				}
 			default:
 				break gather
 			}
 		}
 		if c.failed.Load() {
+			s.tr.drop(len(spans) + len(pending))
+			pending = pending[:0]
 			continue
 		}
 		buf, _ = wire.AppendResponse(buf[:0], batch)
+		if len(spans) > 0 {
+			tEnc := s.now()
+			for _, sp := range spans {
+				sp.enc = tEnc
+			}
+		}
 		if t := s.cfg.WriteTimeout; t > 0 {
 			c.nc.SetWriteDeadline(time.Now().Add(t))
 		}
 		if _, err := bw.Write(buf); err != nil {
 			c.failed.Store(true)
+			s.tr.drop(len(spans) + len(pending))
+			pending = pending[:0]
 			continue
 		}
+		pending = append(pending, spans...)
 		if len(c.out) == 0 {
 			if err := bw.Flush(); err != nil {
 				c.failed.Store(true)
+				s.tr.drop(len(pending))
+				pending = pending[:0]
 				continue
 			}
+			pending = s.finishFlushed(pending)
 		}
 		s.framesOut.Inc()
 	}
+}
+
+// finishFlushed closes every span whose response bytes just reached
+// the socket, stamping one shared flush time, and returns the emptied
+// reusable slice.
+func (s *Server) finishFlushed(pending []*span) []*span {
+	if len(pending) == 0 {
+		return pending
+	}
+	tFlush := s.now()
+	for _, sp := range pending {
+		sp.flush = tFlush
+		s.tr.finish(sp)
+	}
+	return pending[:0]
 }
 
 // Shutdown drains the server: it stops accepting, unblocks the

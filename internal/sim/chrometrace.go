@@ -1,9 +1,10 @@
 package sim
 
 import (
-	"encoding/json"
 	"fmt"
 	"io"
+
+	"pimds/internal/obs"
 )
 
 // ChromeTracer emits Chrome trace-event JSON (the format chrome://
@@ -13,15 +14,16 @@ import (
 // per-core timelines with message round-trips between them.
 //
 // Virtual time is rendered in microseconds (the trace format's unit)
-// with picosecond precision. The tracer buffers nothing: events stream
-// to W as they fire. Call Close to terminate the JSON array; the
-// output is a single JSON array of event objects.
+// with picosecond precision. Event encoding and array framing are
+// obs.ChromeWriter's (shared with pimserve's wall-clock span export,
+// so simulator and server traces open in the same viewer); the tracer
+// buffers nothing and streams events as they fire. Call Close to
+// terminate the JSON array; the output is a single JSON array of
+// event objects.
 type ChromeTracer struct {
-	w   io.Writer
+	cw  *obs.ChromeWriter
 	eng *Engine // for kind and core names; may be nil
-	err error
 
-	n     int                     // events written
 	named map[CoreID]bool         // tids with a thread_name metadata event
 	flows map[channelKey][]uint64 // pending flow ids, FIFO per channel
 	next  uint64                  // next flow id
@@ -31,21 +33,7 @@ type ChromeTracer struct {
 // when non-nil, supplies symbolic kind names (Engine.SetKindNamer) and
 // core kinds for track naming.
 func NewChromeTracer(w io.Writer, eng *Engine) *ChromeTracer {
-	return &ChromeTracer{w: w, eng: eng, named: make(map[CoreID]bool), flows: make(map[channelKey][]uint64)}
-}
-
-// chromeEvent is one trace event. Fields follow the Chrome trace-event
-// format; Ts and Dur are microseconds.
-type chromeEvent struct {
-	Name string                 `json:"name"`
-	Cat  string                 `json:"cat,omitempty"`
-	Ph   string                 `json:"ph"`
-	Ts   float64                `json:"ts"`
-	Dur  *float64               `json:"dur,omitempty"`
-	Pid  int                    `json:"pid"`
-	Tid  int                    `json:"tid"`
-	ID   string                 `json:"id,omitempty"`
-	Args map[string]interface{} `json:"args,omitempty"`
+	return &ChromeTracer{cw: obs.NewChromeWriter(w), eng: eng, named: make(map[CoreID]bool), flows: make(map[channelKey][]uint64)}
 }
 
 // us converts virtual time to trace microseconds.
@@ -56,31 +44,6 @@ func (t *ChromeTracer) kind(k int) string {
 		return t.eng.KindName(k)
 	}
 	return fmt.Sprintf("kind_%02d", k)
-}
-
-// emit writes one event, managing the enclosing JSON array.
-func (t *ChromeTracer) emit(ev chromeEvent) {
-	if t.err != nil {
-		return
-	}
-	b, err := json.Marshal(ev)
-	if err != nil {
-		t.err = err
-		return
-	}
-	sep := ",\n"
-	if t.n == 0 {
-		sep = "[\n"
-	}
-	if _, err := io.WriteString(t.w, sep); err != nil {
-		t.err = err
-		return
-	}
-	if _, err := t.w.Write(b); err != nil {
-		t.err = err
-		return
-	}
-	t.n++
 }
 
 // nameThread emits a one-time thread_name metadata event for id.
@@ -98,7 +61,7 @@ func (t *ChromeTracer) nameThread(id CoreID) {
 			name = fmt.Sprintf("cpu %d", id)
 		}
 	}
-	t.emit(chromeEvent{Name: "thread_name", Ph: "M", Pid: 1, Tid: int(id),
+	t.cw.Emit(obs.TraceEvent{Name: "thread_name", Ph: "M", Pid: 1, Tid: int(id),
 		Args: map[string]interface{}{"name": name}})
 }
 
@@ -110,7 +73,7 @@ func (t *ChromeTracer) MessageSent(at Time, m Message) {
 	t.next++
 	key := channelKey{m.From, m.To}
 	t.flows[key] = append(t.flows[key], t.next)
-	t.emit(chromeEvent{Name: t.kind(m.Kind), Cat: "msg", Ph: "b", Ts: us(at),
+	t.cw.Emit(obs.TraceEvent{Name: t.kind(m.Kind), Cat: "msg", Ph: "b", Ts: us(at),
 		Pid: 1, Tid: int(m.From), ID: fmt.Sprintf("%#x", t.next),
 		Args: map[string]interface{}{"key": m.Key, "to": int(m.To)}})
 }
@@ -126,7 +89,7 @@ func (t *ChromeTracer) MessageDelivered(at Time, m Message) {
 	}
 	id := ids[0]
 	t.flows[key] = ids[1:]
-	t.emit(chromeEvent{Name: t.kind(m.Kind), Cat: "msg", Ph: "e", Ts: us(at),
+	t.cw.Emit(obs.TraceEvent{Name: t.kind(m.Kind), Cat: "msg", Ph: "e", Ts: us(at),
 		Pid: 1, Tid: int(m.From), ID: fmt.Sprintf("%#x", id)})
 }
 
@@ -135,7 +98,7 @@ func (t *ChromeTracer) MessageDelivered(at Time, m Message) {
 func (t *ChromeTracer) HandlerDone(at Time, core CoreID, m Message, busy Time) {
 	t.nameThread(core)
 	dur := us(busy)
-	t.emit(chromeEvent{Name: t.kind(m.Kind), Cat: "handler", Ph: "X",
+	t.cw.Emit(obs.TraceEvent{Name: t.kind(m.Kind), Cat: "handler", Ph: "X",
 		Ts: us(at - busy), Dur: &dur, Pid: 1, Tid: int(core),
 		Args: map[string]interface{}{"key": m.Key}})
 }
@@ -143,15 +106,7 @@ func (t *ChromeTracer) HandlerDone(at Time, core CoreID, m Message, busy Time) {
 // Close terminates the JSON array and reports any write error. The
 // tracer is unusable afterwards.
 func (t *ChromeTracer) Close() error {
-	if t.err != nil {
-		return t.err
-	}
-	open := "[\n"
-	if t.n > 0 {
-		open = ""
-	}
-	_, err := io.WriteString(t.w, open+"\n]\n")
-	return err
+	return t.cw.Close()
 }
 
 // MultiTracer fans simulator events out to several tracers, e.g. a

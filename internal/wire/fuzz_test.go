@@ -14,11 +14,17 @@ func FuzzDecodeFrame(f *testing.F) {
 	seed1, _ := AppendRequest(nil, []Op{{ID: 1, Kind: Add, Key: 7}, {ID: 2, Kind: Remove, Key: -7}})
 	seed2, _ := AppendResponse(nil, []Result{{ID: 3, Status: StatusOK, OK: true, Value: 9}})
 	seed3, _ := AppendRequest(nil, nil)
+	seed4, _ := AppendRequestTraced(nil, []Op{{ID: 4, Kind: Contains, Key: 11}}, TraceContext{TraceID: 0xfeedface, Sampled: true})
+	seed5, _ := AppendRequestTraced(nil, nil, TraceContext{TraceID: 1})
 	f.Add(seed1)
 	f.Add(seed2)
 	f.Add(seed3)
+	f.Add(seed4)
+	f.Add(seed5)
 	f.Add([]byte{0xff, 0xff, 0xff, 0xff})
 	f.Add([]byte{3, 0, 0, 0, FrameRequest, 0, 0})
+	// Traced frame with zero trace id: well-framed but non-canonical.
+	f.Add([]byte{12, 0, 0, 0, FrameRequestTraced, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0})
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		payload, err := ReadFrame(bytes.NewReader(data), nil)
@@ -32,6 +38,20 @@ func FuzzDecodeFrame(f *testing.F) {
 			}
 			if !bytes.Equal(re[4:], payload) {
 				t.Fatalf("request round-trip mismatch:\n in: %x\nout: %x", payload, re[4:])
+			}
+		}
+		if ops, tc, err := DecodeRequestAny(payload, nil); err == nil {
+			var re []byte
+			if tc.Valid() {
+				re, err = AppendRequestTraced(nil, ops, tc)
+			} else {
+				re, err = AppendRequest(nil, ops)
+			}
+			if err != nil {
+				t.Fatalf("accepted frame fails to re-encode: %v", err)
+			}
+			if !bytes.Equal(re[4:], payload) {
+				t.Fatalf("request-any round-trip mismatch:\n in: %x\nout: %x", payload, re[4:])
 			}
 		}
 		if results, err := DecodeResponse(payload, nil); err == nil {

@@ -10,8 +10,9 @@
 // Frame layout (all integers little-endian):
 //
 //	uint32  payload length (bytes that follow; ≤ MaxPayload)
-//	uint8   frame type (FrameRequest | FrameResponse)
+//	uint8   frame type (FrameRequest | FrameResponse | FrameRequestTraced)
 //	uint16  record count (≤ MaxOpsPerFrame)
+//	...     trace context (FrameRequestTraced only): trace id uint64 | flags uint8
 //	...     count fixed-size records
 //
 // Request record (17 bytes):  id uint64 | kind uint8 | key int64
@@ -104,7 +105,38 @@ func (s Status) String() string {
 const (
 	FrameRequest  uint8 = 1
 	FrameResponse uint8 = 2
+	// FrameRequestTraced is a request frame carrying a trace context
+	// (trace ID + flags) between the record count and the records, so
+	// clients can originate distributed traces that the server's span
+	// recorder picks up. Encoding is canonical: a traced frame with a
+	// zero trace ID or undefined flag bits is rejected — trace-less
+	// requests must use FrameRequest.
+	FrameRequestTraced uint8 = 3
 )
+
+// TraceContext is the per-frame trace context a client attaches to a
+// traced request frame. The zero TraceContext means "no trace".
+type TraceContext struct {
+	// TraceID identifies the trace. Zero is reserved for "no trace"
+	// and is not encodable.
+	TraceID uint64
+	// Sampled asks the server to record a span breakdown for every
+	// operation in the frame. An unsampled context still propagates
+	// the ID (for log correlation) without span cost.
+	Sampled bool
+}
+
+// Valid reports whether tc can be carried on the wire.
+func (tc TraceContext) Valid() bool { return tc.TraceID != 0 }
+
+// flags encodes the context's flag byte (bit 0 = sampled; the rest
+// must be zero).
+func (tc TraceContext) flags() byte {
+	if tc.Sampled {
+		return 1
+	}
+	return 0
+}
 
 // Op is one client operation. For Enqueue/Push, Key is the value; for
 // Dequeue/Pop it is ignored.
@@ -129,6 +161,7 @@ const (
 	opSize     = 8 + 1 + 8     // id, kind, key
 	resultSize = 8 + 1 + 1 + 8 // id, status, ok, value
 	headerSize = 1 + 2         // type, count
+	traceSize  = 8 + 1         // trace id, flags (traced requests only)
 
 	// MaxOpsPerFrame bounds the records in one frame; larger batches
 	// must be split across frames.
@@ -149,6 +182,9 @@ var (
 	// ErrTooManyOps: an encoder was handed more than MaxOpsPerFrame
 	// records.
 	ErrTooManyOps = errors.New("wire: too many records for one frame")
+	// ErrBadTrace: an encoder was handed an invalid (zero-ID) trace
+	// context for a traced frame.
+	ErrBadTrace = errors.New("wire: traced frame requires a nonzero trace id")
 )
 
 // AppendRequest appends one request frame carrying ops to buf and
@@ -159,6 +195,28 @@ func AppendRequest(buf []byte, ops []Op) ([]byte, error) {
 	}
 	payload := headerSize + len(ops)*opSize
 	buf = appendFrameHeader(buf, payload, FrameRequest, len(ops))
+	for _, op := range ops {
+		buf = binary.LittleEndian.AppendUint64(buf, op.ID)
+		buf = append(buf, byte(op.Kind))
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(op.Key))
+	}
+	return buf, nil
+}
+
+// AppendRequestTraced appends one traced request frame carrying ops and
+// the trace context tc to buf. tc must be Valid (nonzero trace ID);
+// callers without a trace use AppendRequest.
+func AppendRequestTraced(buf []byte, ops []Op, tc TraceContext) ([]byte, error) {
+	if len(ops) > MaxOpsPerFrame {
+		return buf, ErrTooManyOps
+	}
+	if !tc.Valid() {
+		return buf, ErrBadTrace
+	}
+	payload := headerSize + traceSize + len(ops)*opSize
+	buf = appendFrameHeader(buf, payload, FrameRequestTraced, len(ops))
+	buf = binary.LittleEndian.AppendUint64(buf, tc.TraceID)
+	buf = append(buf, tc.flags())
 	for _, op := range ops {
 		buf = binary.LittleEndian.AppendUint64(buf, op.ID)
 		buf = append(buf, byte(op.Kind))
@@ -252,6 +310,43 @@ func DecodeRequest(payload []byte, dst []Op) ([]Op, error) {
 	return dst, nil
 }
 
+// DecodeRequestAny decodes a request-frame payload of either type,
+// returning the ops and the frame's trace context (the zero
+// TraceContext for plain FrameRequest). Traced frames are validated
+// strictly: a zero trace ID or undefined flag bits is ErrMalformed, so
+// every accepted payload re-encodes byte-identically.
+func DecodeRequestAny(payload []byte, dst []Op) ([]Op, TraceContext, error) {
+	if len(payload) >= 1 && payload[0] == FrameRequest {
+		ops, err := DecodeRequest(payload, dst)
+		return ops, TraceContext{}, err
+	}
+	body, count, err := checkHeaderSized(payload, FrameRequestTraced, opSize, traceSize)
+	if err != nil {
+		return dst, TraceContext{}, err
+	}
+	tc := TraceContext{TraceID: binary.LittleEndian.Uint64(body)}
+	switch body[8] {
+	case 0:
+	case 1:
+		tc.Sampled = true
+	default:
+		return dst, TraceContext{}, fmt.Errorf("%w: trace flags %#x, want 0 or 1", ErrMalformed, body[8])
+	}
+	if tc.TraceID == 0 {
+		return dst, TraceContext{}, fmt.Errorf("%w: traced frame with zero trace id", ErrMalformed)
+	}
+	body = body[traceSize:]
+	for i := 0; i < count; i++ {
+		rec := body[i*opSize:]
+		dst = append(dst, Op{
+			ID:   binary.LittleEndian.Uint64(rec),
+			Kind: OpKind(rec[8]),
+			Key:  int64(binary.LittleEndian.Uint64(rec[9:])),
+		})
+	}
+	return dst, tc, nil
+}
+
 // DecodeResponse decodes a response-frame payload, appending the
 // results to dst. Records are validated strictly — an undefined status
 // or a non-canonical ok byte (anything but 0/1) is ErrMalformed — so
@@ -282,6 +377,13 @@ func DecodeResponse(payload []byte, dst []Result) ([]Result, error) {
 // checkHeader validates the frame type and that the payload length
 // matches the declared record count exactly.
 func checkHeader(payload []byte, wantType uint8, recSize int) (body []byte, count int, err error) {
+	return checkHeaderSized(payload, wantType, recSize, 0)
+}
+
+// checkHeaderSized is checkHeader for frame types carrying extra bytes
+// of fixed-size per-frame state (the trace context) before the records;
+// the returned body starts at that state.
+func checkHeaderSized(payload []byte, wantType uint8, recSize, extra int) (body []byte, count int, err error) {
 	if len(payload) < headerSize {
 		return nil, 0, fmt.Errorf("%w: truncated header", ErrMalformed)
 	}
@@ -293,8 +395,8 @@ func checkHeader(payload []byte, wantType uint8, recSize int) (body []byte, coun
 		return nil, 0, fmt.Errorf("%w: record count %d exceeds %d", ErrMalformed, count, MaxOpsPerFrame)
 	}
 	body = payload[headerSize:]
-	if len(body) != count*recSize {
-		return nil, 0, fmt.Errorf("%w: %d bytes for %d records of %d bytes", ErrMalformed, len(body), count, recSize)
+	if len(body) != extra+count*recSize {
+		return nil, 0, fmt.Errorf("%w: %d bytes for %d records of %d bytes (+%d frame state)", ErrMalformed, len(body), count, recSize, extra)
 	}
 	return body, count, nil
 }

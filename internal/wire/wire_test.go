@@ -66,6 +66,111 @@ func TestResponseRoundTrip(t *testing.T) {
 	}
 }
 
+func TestTracedRequestRoundTrip(t *testing.T) {
+	ops := []Op{
+		{ID: 1, Kind: Add, Key: 5},
+		{ID: 2, Kind: Contains, Key: -9},
+	}
+	for _, tc := range []TraceContext{
+		{TraceID: 1, Sampled: false},
+		{TraceID: math.MaxUint64, Sampled: true},
+		{TraceID: 0xdeadbeefcafe, Sampled: true},
+	} {
+		buf, err := AppendRequestTraced(nil, ops, tc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		payload, err := ReadFrame(bytes.NewReader(buf), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, gotTC, err := DecodeRequestAny(payload, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gotTC != tc {
+			t.Errorf("trace context: got %+v, want %+v", gotTC, tc)
+		}
+		if len(got) != len(ops) {
+			t.Fatalf("decoded %d ops, want %d", len(got), len(ops))
+		}
+		for i := range ops {
+			if got[i] != ops[i] {
+				t.Errorf("op %d: got %+v, want %+v", i, got[i], ops[i])
+			}
+		}
+		// A traced frame must not decode through the plain path.
+		if _, err := DecodeRequest(payload, nil); !errors.Is(err, ErrMalformed) {
+			t.Errorf("plain DecodeRequest accepted a traced frame: %v", err)
+		}
+	}
+}
+
+func TestDecodeRequestAnyAcceptsPlainFrames(t *testing.T) {
+	buf, err := AppendRequest(nil, []Op{{ID: 3, Kind: Remove, Key: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload, err := ReadFrame(bytes.NewReader(buf), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops, tc, err := DecodeRequestAny(payload, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tc.Valid() {
+		t.Errorf("plain frame produced trace context %+v", tc)
+	}
+	if len(ops) != 1 || ops[0].ID != 3 {
+		t.Fatalf("got %+v", ops)
+	}
+}
+
+func TestTracedRequestCanonicalEncoding(t *testing.T) {
+	// Zero trace id is not encodable.
+	if _, err := AppendRequestTraced(nil, nil, TraceContext{}); !errors.Is(err, ErrBadTrace) {
+		t.Fatalf("zero trace id: got %v, want ErrBadTrace", err)
+	}
+	// Zero trace id on the wire is rejected.
+	buf, err := AppendRequestTraced(nil, nil, TraceContext{TraceID: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload, err := ReadFrame(bytes.NewReader(buf), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zeroed := append([]byte(nil), payload...)
+	for i := 3; i < 11; i++ {
+		zeroed[i] = 0
+	}
+	if _, _, err := DecodeRequestAny(zeroed, nil); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("zero trace id on the wire: got %v, want ErrMalformed", err)
+	}
+	// Undefined flag bits are rejected.
+	for _, flags := range []byte{2, 3, 0x80, 0xff} {
+		bad := append([]byte(nil), payload...)
+		bad[11] = flags
+		if _, _, err := DecodeRequestAny(bad, nil); !errors.Is(err, ErrMalformed) {
+			t.Fatalf("flags %#x: got %v, want ErrMalformed", flags, err)
+		}
+	}
+	// Too many ops is rejected at encode time.
+	ops := make([]Op, MaxOpsPerFrame+1)
+	if _, err := AppendRequestTraced(nil, ops, TraceContext{TraceID: 1}); !errors.Is(err, ErrTooManyOps) {
+		t.Fatalf("got %v, want ErrTooManyOps", err)
+	}
+	// A max-size traced frame stays within MaxPayload.
+	full, err := AppendRequestTraced(nil, make([]Op, MaxOpsPerFrame), TraceContext{TraceID: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadFrame(bytes.NewReader(full), nil); err != nil {
+		t.Fatalf("max traced frame: %v", err)
+	}
+}
+
 func TestEmptyFrames(t *testing.T) {
 	buf, err := AppendRequest(nil, nil)
 	if err != nil {
