@@ -1,6 +1,7 @@
 // Command pimvet is the repo's custom static analyzer: it enforces the
 // invariants the Go compiler cannot see — simulator determinism,
-// cost-model accounting, atomics hygiene and observability safety —
+// cost-model accounting, atomics hygiene, observability safety, and
+// the allocation-free/non-blocking contracts on annotated hot paths —
 // using only the standard library's go/parser, go/types and
 // go/importer.
 //
@@ -11,6 +12,12 @@
 // Packages use go-tool patterns relative to the current directory
 // ("./...", "./internal/sim"). With no arguments, ./... is checked.
 // Exit status is 1 if any diagnostic is reported.
+//
+// Function annotations opt hot paths into transitive contracts,
+// checked through every module call they make:
+//
+//	//pimvet:allocfree    // in a doc comment: no heap allocation
+//	//pimvet:nonblocking  // in a doc comment: never parks the goroutine
 //
 // Suppressions are in-source comments:
 //

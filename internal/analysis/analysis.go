@@ -52,6 +52,13 @@ type Pass struct {
 	// (used by testdata fixtures to opt into path-scoped checks).
 	Path string
 
+	// Lookup resolves a module import path to its loaded package, for
+	// analyzers that follow calls across package boundaries (allocfree,
+	// combinerpurity). It returns nil for paths outside the module and
+	// is itself nil when the pass was built without a loader; callers
+	// must treat both as "opaque callee".
+	Lookup func(path string) *Package
+
 	diags *[]Diagnostic
 }
 
@@ -60,6 +67,17 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
 	*p.diags = append(*p.diags, Diagnostic{
 		Analyzer: p.Analyzer.Name,
 		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// ReportPosf records a diagnostic at an already-resolved position.
+// Analyzers use it for findings anchored to parsed directives, whose
+// positions are stored resolved.
+func (p *Pass) ReportPosf(posn token.Position, format string, args ...interface{}) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      posn,
 		Message:  fmt.Sprintf(format, args...),
 	})
 }

@@ -11,6 +11,12 @@
 //     by-value lock copies).
 //   - obssafety: observability is write-only from simulated code, so
 //     enabling metrics changes results by exactly zero.
+//   - allocfree: functions marked //pimvet:allocfree (server combiner
+//     apply, wire encode/decode, loadgen inner loop) and their module
+//     callees never heap-allocate.
+//   - combinerpurity: functions marked //pimvet:nonblocking and their
+//     module callees never block (no channel ops, locks, sleeps or
+//     I/O).
 package analyzers
 
 import (
@@ -28,6 +34,8 @@ func All() []*analysis.Analyzer {
 		CostCharge,
 		AtomicHygiene,
 		ObsSafety,
+		AllocFree,
+		CombinerPurity,
 	}
 }
 

@@ -1,0 +1,176 @@
+package analyzers
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"pimds/internal/analysis"
+)
+
+// CombinerPurity enforces the non-blocking contract of functions marked
+// //pimvet:nonblocking: the marked function — and every module function
+// it transitively calls — must not block. The flat-combining server's
+// throughput rests on the combiner goroutine never stalling mid-batch:
+// one blocked combiner parks every connection hashing to its shard. The
+// same holds for the wire encode/decode fast paths (which run inside
+// the per-connection reader/writer loops between socket operations) and
+// the load generator's inner loop (a stall there distorts the measured
+// latency distribution).
+//
+// Flagged inside marked code and its module-transitive callees:
+//
+//   - channel sends, receives, selects and range-over-channel;
+//   - sync primitives that can park: Mutex/RWMutex.Lock, RLock,
+//     WaitGroup/Cond.Wait, Once.Do, and sync.Map's internally-locked
+//     methods;
+//   - time.Sleep and timer/ticker construction;
+//   - any call into blocking-I/O packages (os, net, io, bufio,
+//     syscall, log, ...) and fmt's writer/reader entry points
+//     (Fprint*/Print*/Scan*);
+//   - calls to I/O-shaped interface methods (Read, Write, Flush, ...),
+//     whose dynamic implementation may block even when the static
+//     callee looks harmless.
+//
+// Atomics are the sanctioned synchronization primitive on marked paths;
+// sync/atomic is never flagged. Deliberate exceptions carry ordinary
+// //pimvet:allow combinerpurity directives with justifications.
+//
+// Blocking here means parking the goroutine on another goroutine or the
+// kernel. CPU loops and CAS retry loops are not flagged: they keep the
+// combiner making progress.
+var CombinerPurity = &analysis.Analyzer{
+	Name: "combinerpurity",
+	Doc:  "enforces //pimvet:nonblocking: marked hot paths and their module callees must not block",
+	Run:  runCombinerPurity,
+}
+
+func runCombinerPurity(pass *analysis.Pass) {
+	runMarked(pass, analysis.KindNonBlocking, scanBlocking)
+}
+
+// blockingPkgs are stdlib packages whose calls are assumed to reach the
+// kernel or an io.Writer; any call into them is flagged.
+var blockingPkgs = map[string]bool{
+	"os": true, "os/exec": true, "net": true, "net/http": true,
+	"syscall": true, "io": true, "io/ioutil": true, "bufio": true,
+	"log": true, "database/sql": true,
+}
+
+// syncBlocking are the sync method names that can park a goroutine.
+// sync.Map methods are included: they take internal locks.
+var syncBlocking = map[string]bool{
+	"Lock": true, "RLock": true, "Wait": true, "Do": true,
+	"Load": true, "Store": true, "LoadOrStore": true,
+	"LoadAndDelete": true, "Delete": true, "Swap": true, "Range": true,
+}
+
+// timeBlocking are the time package entry points that sleep or arm
+// timers (timer machinery takes the runtime's timer locks).
+var timeBlocking = map[string]bool{
+	"Sleep": true, "After": true, "Tick": true,
+	"NewTimer": true, "NewTicker": true, "AfterFunc": true,
+}
+
+// ioShapedNames flag interface method calls that look like I/O: the
+// static type says nothing about the dynamic implementation, so the
+// name is the contract.
+var ioShapedNames = map[string]bool{
+	"Read": true, "Write": true, "ReadFrom": true, "WriteTo": true,
+	"ReadByte": true, "WriteByte": true, "WriteString": true,
+	"Flush": true, "Close": true, "Sync": true,
+}
+
+func fmtBlocking(name string) bool {
+	return strings.HasPrefix(name, "Fprint") || strings.HasPrefix(name, "Print") ||
+		strings.HasPrefix(name, "Scan") || strings.HasPrefix(name, "Fscan") ||
+		strings.HasPrefix(name, "Sscan")
+}
+
+// scanBlocking is the combinerpurity local rule: every potentially
+// blocking operation in one function body, plus the module calls to
+// chase.
+func scanBlocking(info *types.Info, fn funcNode) ([]violation, []calleeRef) {
+	var viols []violation
+	var callees []calleeRef
+	add := func(pos token.Pos, format string, args ...interface{}) {
+		viols = append(viols, violation{pos, fmt.Sprintf(format, args...)})
+	}
+	ast.Inspect(fn.body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			// Defining a closure does not block; if the marked code also
+			// calls it, the call is invisible to this analyzer (function
+			// values are not followed) — allocfree flags the literal
+			// itself on shared hot paths.
+			return false
+		}
+		switch e := n.(type) {
+		case *ast.SendStmt:
+			add(e.Arrow, "sends on a channel")
+		case *ast.UnaryExpr:
+			if e.Op == token.ARROW {
+				add(e.Pos(), "receives from a channel")
+			}
+		case *ast.SelectStmt:
+			add(e.Pos(), "selects on channels")
+		case *ast.RangeStmt:
+			if t := typeOf(info, e.X); t != nil {
+				if _, ok := t.Underlying().(*types.Chan); ok {
+					add(e.Pos(), "ranges over a channel")
+				}
+			}
+		case *ast.CallExpr:
+			callees = scanCallBlocking(info, e, add, callees)
+		}
+		return true
+	})
+	return viols, callees
+}
+
+// scanCallBlocking applies the call policy: module callees are
+// followed, denylisted stdlib entry points are violations, I/O-shaped
+// interface calls are violations, everything else is assumed
+// non-blocking.
+func scanCallBlocking(info *types.Info, call *ast.CallExpr,
+	add func(token.Pos, string, ...interface{}), callees []calleeRef) []calleeRef {
+
+	f := pkgFunc(info, call)
+	if f == nil || f.Pkg() == nil {
+		return callees // conversion, builtin or function value: no park
+	}
+	path := f.Pkg().Path()
+	name := f.Name()
+	viaInterface := isInterfaceCall(info, call)
+	switch {
+	case isModulePath(path):
+		if viaInterface && ioShapedNames[name] {
+			add(call.Pos(), "calls %s through an interface; I/O-shaped methods may block", name)
+		} else {
+			callees = append(callees, calleeRef{f, call.Pos()})
+		}
+	case blockingPkgs[path]:
+		add(call.Pos(), "calls %s, which may perform blocking I/O", f.FullName())
+	case path == "sync" && syncBlocking[name]:
+		add(call.Pos(), "parks on a sync primitive (%s)", f.FullName())
+	case path == "time" && timeBlocking[name]:
+		add(call.Pos(), "calls %s, which sleeps or arms a timer", f.FullName())
+	case path == "fmt" && fmtBlocking(name):
+		add(call.Pos(), "calls %s, which drives an io.Writer/Reader", f.FullName())
+	case viaInterface && ioShapedNames[name]:
+		add(call.Pos(), "calls %s through an interface; I/O-shaped methods may block", name)
+	}
+	return callees
+}
+
+// isInterfaceCall reports whether the call dispatches through an
+// interface method.
+func isInterfaceCall(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	s, ok := info.Selections[sel]
+	return ok && types.IsInterface(s.Recv())
+}

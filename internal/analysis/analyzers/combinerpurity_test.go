@@ -1,0 +1,13 @@
+package analyzers_test
+
+import (
+	"testing"
+
+	"pimds/internal/analysis"
+	"pimds/internal/analysis/analysistest"
+	"pimds/internal/analysis/analyzers"
+)
+
+func TestCombinerPurity(t *testing.T) {
+	analysistest.Run(t, "testdata/src/combinerpurity", analyzers.CombinerPurity, analysis.Options{Strict: true})
+}

@@ -59,14 +59,10 @@ func runCostCharge(pass *analysis.Pass) {
 	}
 	info := pass.TypesInfo
 
-	// Fixpoint over package-level functions: which ones charge a core,
-	// directly or through package-local calls?
-	type fnInfo struct {
-		node    funcNode
-		direct  bool
-		callees []*types.Func
-	}
-	fns := make(map[*types.Func]*fnInfo)
+	// Helper propagation (shared machinery in facts.go): which
+	// package-level functions charge a core, directly or through
+	// package-local calls?
+	fns := make(map[*types.Func]*localFact)
 	var nodes []funcNode
 	for _, fn := range allFuncs(pass.Files) {
 		nodes = append(nodes, fn)
@@ -77,30 +73,11 @@ func runCostCharge(pass *analysis.Pass) {
 		if !ok {
 			continue
 		}
-		fi := &fnInfo{node: fn}
-		scanCharges(info, fn.body, &fi.direct, &fi.callees)
-		fns[obj] = fi
+		lf := &localFact{}
+		scanCharges(info, fn.body, &lf.direct, &lf.callees)
+		fns[obj] = lf
 	}
-	charges := make(map[*types.Func]bool)
-	for changed := true; changed; {
-		changed = false
-		for obj, fi := range fns {
-			if charges[obj] {
-				continue
-			}
-			ok := fi.direct
-			for _, callee := range fi.callees {
-				if charges[callee] {
-					ok = true
-					break
-				}
-			}
-			if ok {
-				charges[obj] = true
-				changed = true
-			}
-		}
-	}
+	charges := propagate(fns)
 
 	for _, fn := range nodes {
 		if paramOfType(info, fn.typ, isCoreParam) == nil {

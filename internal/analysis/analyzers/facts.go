@@ -1,0 +1,237 @@
+package analyzers
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"strings"
+
+	"pimds/internal/analysis"
+)
+
+// Shared function-fact machinery. Two propagation schemes live here:
+//
+//   - localFacts/propagate: costcharge's package-local helper
+//     propagation, generalized. A positive property ("charges the cost
+//     model") spreads from functions that establish it directly to the
+//     package-level functions that call them, to a fixpoint.
+//
+//   - factChecker: on-demand transitive checking across package
+//     boundaries for negative properties ("never allocates", "never
+//     blocks"). Starting from a marked root, every module function it
+//     reaches is scanned with an analyzer-supplied rule; the first
+//     unsuppressed violation poisons the whole call chain, and the
+//     chain is reported at the root's call site so the finding lands in
+//     the package under analysis.
+
+// modulePath is the enclosing module's import-path prefix; calls into
+// it are followed, everything else is judged by per-analyzer policy.
+const modulePath = "pimds"
+
+func isModulePath(p string) bool {
+	return p == modulePath || strings.HasPrefix(p, modulePath+"/")
+}
+
+// localFact is one function's direct contribution to a package-local
+// positive property plus its package-local call edges.
+type localFact struct {
+	direct  bool
+	callees []*types.Func
+}
+
+// propagate computes the transitive closure of a positive property over
+// package-level functions: a function has it if it establishes it
+// directly or calls a package-local function that has it.
+func propagate(fns map[*types.Func]*localFact) map[*types.Func]bool {
+	has := make(map[*types.Func]bool)
+	for changed := true; changed; {
+		changed = false
+		for obj, lf := range fns {
+			if has[obj] {
+				continue
+			}
+			ok := lf.direct
+			for _, callee := range lf.callees {
+				if has[callee] {
+					ok = true
+					break
+				}
+			}
+			if ok {
+				has[obj] = true
+				changed = true
+			}
+		}
+	}
+	return has
+}
+
+// violation is one breach of a scan rule inside a function body.
+type violation struct {
+	pos token.Pos
+	msg string
+}
+
+// calleeRef is a resolved call with its site, so cross-package findings
+// can be reported where the analyzed package makes the call.
+type calleeRef struct {
+	fn  *types.Func
+	pos token.Pos
+}
+
+// scanFunc is an analyzer's local rule: scan one function body given
+// its package's type information and return the rule violations plus
+// the resolved calls worth following.
+type scanFunc func(info *types.Info, fn funcNode) ([]violation, []calleeRef)
+
+// funcFact is the memoized verdict for one function: clean, or a
+// human-readable predicate explaining the first failure found.
+type funcFact struct {
+	clean    bool
+	why      string // e.g. "allocates via make at seqlist.go:88"
+	visiting bool   // cycle guard; cycles resolve optimistically
+}
+
+// factChecker computes transitive function facts across the module.
+type factChecker struct {
+	analyzer string // analyzer name, for callee-package suppression lookups
+	lookup   func(string) *analysis.Package
+	scan     scanFunc
+	facts    map[*types.Func]*funcFact
+	indexes  map[*analysis.Package]map[*types.Func]funcNode
+}
+
+func newFactChecker(pass *analysis.Pass, scan scanFunc) *factChecker {
+	return &factChecker{
+		analyzer: pass.Analyzer.Name,
+		lookup:   pass.Lookup,
+		scan:     scan,
+		facts:    make(map[*types.Func]*funcFact),
+		indexes:  make(map[*analysis.Package]map[*types.Func]funcNode),
+	}
+}
+
+// check returns the fact for f, computing and memoizing it on first
+// use. Functions outside the module, without available syntax (loader
+// absent, load failure, interface methods) are clean by fiat: the
+// caller's policy layer decides what to do with opaque callees before
+// asking for facts.
+func (fc *factChecker) check(f *types.Func) *funcFact {
+	if fact, ok := fc.facts[f]; ok {
+		if fact.visiting {
+			return &funcFact{clean: true} // cycle: optimistic
+		}
+		return fact
+	}
+	fact := &funcFact{clean: true, visiting: true}
+	fc.facts[f] = fact
+	defer func() { fact.visiting = false }()
+
+	if f.Pkg() == nil || fc.lookup == nil {
+		return fact
+	}
+	pkg := fc.lookup(f.Pkg().Path())
+	if pkg == nil {
+		return fact
+	}
+	node, ok := fc.index(pkg)[f]
+	if !ok {
+		return fact // no body here: interface method or external decl
+	}
+	viols, callees := fc.scan(pkg.Info, node)
+	for _, v := range viols {
+		posn := pkg.Fset.Position(v.pos)
+		if pkg.Suppressed(fc.analyzer, posn) {
+			continue
+		}
+		fact.clean = false
+		fact.why = fmt.Sprintf("%s at %s:%d", v.msg, filepath.Base(posn.Filename), posn.Line)
+		return fact
+	}
+	for _, c := range callees {
+		if sub := fc.check(c.fn); !sub.clean {
+			fact.clean = false
+			fact.why = fmt.Sprintf("calls %s, which %s", c.fn.FullName(), sub.why)
+			return fact
+		}
+	}
+	return fact
+}
+
+// index maps a package's function objects to their declarations.
+func (fc *factChecker) index(pkg *analysis.Package) map[*types.Func]funcNode {
+	idx, ok := fc.indexes[pkg]
+	if !ok {
+		idx = make(map[*types.Func]funcNode)
+		for _, fn := range allFuncs(pkg.Files) {
+			if fn.decl == nil {
+				continue
+			}
+			if obj, ok := pkg.Info.Defs[fn.decl.Name].(*types.Func); ok {
+				idx[obj] = fn
+			}
+		}
+		fc.indexes[pkg] = idx
+	}
+	return idx
+}
+
+// markedFn is a function declaration carrying a pimvet annotation.
+type markedFn struct {
+	funcNode
+	mark analysis.Directive
+}
+
+// markedFuncs returns the function declarations annotated with
+// //pimvet:<kind>. The directive must sit inside the declaration's doc
+// comment (a comment block immediately above the func line); marks
+// attached to nothing are returned separately so the analyzer can
+// surface the typo instead of silently ignoring it.
+func markedFuncs(pass *analysis.Pass, kind string) (marked []markedFn, stray []analysis.Directive) {
+	for _, file := range pass.Files {
+		var marks []analysis.Directive
+		for _, d := range analysis.ParseDirectives(pass.Fset, file) {
+			if d.Kind == kind {
+				marks = append(marks, d)
+			}
+		}
+		if len(marks) == 0 {
+			continue
+		}
+		used := make([]bool, len(marks))
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || fd.Doc == nil {
+				continue
+			}
+			lo := pass.Fset.Position(fd.Doc.Pos()).Line
+			hi := pass.Fset.Position(fd.Pos()).Line - 1
+			for i, d := range marks {
+				if d.Pos.Line >= lo && d.Pos.Line <= hi {
+					used[i] = true
+					marked = append(marked, markedFn{
+						funcNode{decl: fd, typ: fd.Type, body: fd.Body}, d,
+					})
+					break
+				}
+			}
+		}
+		for i, d := range marks {
+			if !used[i] {
+				stray = append(stray, d)
+			}
+		}
+	}
+	return marked, stray
+}
+
+// reportStray flags mark directives that attach to no function
+// declaration, so a misplaced annotation fails loudly.
+func reportStray(pass *analysis.Pass, kind string, stray []analysis.Directive) {
+	for _, d := range stray {
+		pass.ReportPosf(d.Pos,
+			"//pimvet:%s is not attached to a function declaration; write it in the function's doc comment", kind)
+	}
+}

@@ -1,0 +1,116 @@
+// Fixture for the combinerpurity analyzer: functions marked
+// //pimvet:nonblocking — and everything they transitively call inside
+// the module — must never park the goroutine: no channel operations,
+// lock acquisition, sleeps, or I/O. Atomics are the sanctioned
+// primitive and pass untouched.
+package fixture
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+//pimvet:nonblocking
+func badSend(ch chan int) {
+	ch <- 1 // want `sends on a channel`
+}
+
+//pimvet:nonblocking
+func badRecv(ch chan int) int {
+	return <-ch // want `receives from a channel`
+}
+
+//pimvet:nonblocking
+func badSelect(ch chan int) {
+	select { // want `selects on channels`
+	case ch <- 1: // want `sends on a channel`
+	default:
+	}
+}
+
+//pimvet:nonblocking
+func badRange(ch chan int) int {
+	n := 0
+	for v := range ch { // want `ranges over a channel`
+		n += v
+	}
+	return n
+}
+
+//pimvet:nonblocking
+func badLock(mu *sync.Mutex) {
+	mu.Lock() // want `parks on a sync primitive`
+	defer mu.Unlock()
+}
+
+//pimvet:nonblocking
+func badRLock(mu *sync.RWMutex) {
+	mu.RLock() // want `parks on a sync primitive`
+	mu.RUnlock()
+}
+
+//pimvet:nonblocking
+func badSleep() {
+	time.Sleep(time.Millisecond) // want `sleeps or arms a timer`
+}
+
+//pimvet:nonblocking
+func badPrint(v int) {
+	fmt.Println(v) // want `drives an io\.Writer`
+}
+
+//pimvet:nonblocking
+func badFile(name string) {
+	os.Remove(name) // want `may perform blocking I/O`
+}
+
+type flusher interface{ Flush() error }
+
+//pimvet:nonblocking
+func badFlush(f flusher) {
+	f.Flush() // want `I/O-shaped methods may block`
+}
+
+type applier interface{ Apply(n int) int }
+
+// okApply: module-interface calls with non-I/O names are trusted — the
+// implementations carry their own annotations.
+//
+//pimvet:nonblocking
+func okApply(a applier) int {
+	return a.Apply(1)
+}
+
+// okAtomic: atomics are the sanctioned synchronization primitive.
+//
+//pimvet:nonblocking
+func okAtomic(v *atomic.Uint64) uint64 {
+	return v.Add(1)
+}
+
+// viaHelper reaches a channel send through a package-local helper; the
+// chain is reported at the call site.
+//
+//pimvet:nonblocking
+func viaHelper(ch chan int) {
+	notify(ch) // want `calls .*notify, which sends on a channel at combinerpurity\.go:\d+`
+}
+
+func notify(ch chan int) {
+	ch <- 1
+}
+
+// viaJustified reaches a lock exempted where it lives.
+//
+//pimvet:nonblocking
+func viaJustified(mu *sync.Mutex) {
+	guarded(mu)
+}
+
+func guarded(mu *sync.Mutex) {
+	mu.Lock() //pimvet:allow combinerpurity: uncontended by construction in this fixture
+	mu.Unlock()
+}

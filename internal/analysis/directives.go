@@ -22,14 +22,37 @@ import (
 //	    pimds/internal/sim, pimds/internal/core/...) treat the fixture
 //	    as in-scope code.
 //
-// The analyzer list may be "all" to cover every analyzer.
+//	//pimvet:allocfree note
+//	//pimvet:nonblocking note
+//	    Function annotations, written in the doc comment of a function
+//	    declaration (or on the line directly above it). They declare a
+//	    hot-path contract — no heap allocations / no blocking
+//	    operations, transitively — that the allocfree and combinerpurity
+//	    analyzers enforce. The note is free-form and optional.
+//
+// The analyzer list may be "all" to cover every analyzer. A comment
+// recognized as a directive must begin with //pimvet: (no leading
+// whitespace inside the comment), which keeps prose that merely cites a
+// directive — like this block — inert. Within one directive comment,
+// each further occurrence of //pimvet: starts a new directive, so
+// several can share a line. The verb is separated from its payload by
+// any run of spaces or tabs.
+
+// Directive kinds.
+const (
+	KindAllow       = "allow"
+	KindAllowFile   = "allow-file"
+	KindPackage     = "package"
+	KindAllocFree   = "allocfree"
+	KindNonBlocking = "nonblocking"
+)
 
 // Directive is one parsed //pimvet: comment.
 type Directive struct {
-	Kind          string // "allow", "allow-file" or "package"
+	Kind          string // one of the Kind constants; "" when malformed
 	Analyzers     []string
 	Justification string
-	Arg           string // for "package": the override path
+	Arg           string // "package": the override path; marks: the note; malformed: raw text
 	Pos           token.Position
 }
 
@@ -45,10 +68,18 @@ func (d *Directive) Matches(analyzer string) bool {
 
 const directivePrefix = "//pimvet:"
 
+// ParseDirectives extracts all pimvet directives from a file, malformed
+// ones included (Kind ""). Analyzers use it to locate function
+// annotations; suppression directives are consumed by the driver.
+func ParseDirectives(fset *token.FileSet, file *ast.File) []Directive {
+	return parseDirectives(fset, file)
+}
+
 // parseDirectives extracts all pimvet directives from a file. Malformed
-// directives (an unknown verb after //pimvet:) are returned with Kind
-// "" so the driver can surface them instead of silently ignoring a
-// suppression the author believed was active.
+// directives (an unknown verb after //pimvet:, or a known verb missing
+// its required payload) are returned with Kind "" so the driver can
+// surface them instead of silently ignoring a suppression the author
+// believed was active.
 func parseDirectives(fset *token.FileSet, file *ast.File) []Directive {
 	var out []Directive
 	for _, cg := range file.Comments {
@@ -56,26 +87,62 @@ func parseDirectives(fset *token.FileSet, file *ast.File) []Directive {
 			if !strings.HasPrefix(c.Text, directivePrefix) {
 				continue
 			}
-			rest := strings.TrimPrefix(c.Text, directivePrefix)
-			d := Directive{Pos: fset.Position(c.Pos())}
-			switch {
-			case strings.HasPrefix(rest, "package "):
-				d.Kind = "package"
-				d.Arg = strings.TrimSpace(strings.TrimPrefix(rest, "package "))
-			case strings.HasPrefix(rest, "allow-file "):
-				d.Kind = "allow-file"
-				parseAllow(&d, strings.TrimPrefix(rest, "allow-file "))
-			case strings.HasPrefix(rest, "allow "):
-				d.Kind = "allow"
-				parseAllow(&d, strings.TrimPrefix(rest, "allow "))
-			default:
-				d.Kind = "" // malformed; reported by the driver
-				d.Arg = rest
+			// One comment may carry several directives; each occurrence
+			// of the prefix starts a new one.
+			text := c.Text
+			for start := 0; start < len(text); {
+				next := strings.Index(text[start+len(directivePrefix):], directivePrefix)
+				end := len(text)
+				if next >= 0 {
+					end = start + len(directivePrefix) + next
+				}
+				chunk := text[start+len(directivePrefix) : end]
+				pos := fset.Position(c.Pos() + token.Pos(start))
+				out = append(out, parseOne(chunk, pos))
+				start = end
 			}
-			out = append(out, d)
 		}
 	}
 	return out
+}
+
+// parseOne parses the text after one //pimvet: prefix. The verb runs up
+// to the first space or tab (so tab-separated payloads parse the same
+// as space-separated ones).
+func parseOne(chunk string, pos token.Position) Directive {
+	d := Directive{Pos: pos}
+	malformed := func() Directive {
+		d.Kind = ""
+		d.Analyzers = nil
+		d.Justification = ""
+		d.Arg = chunk
+		return d
+	}
+	s := strings.TrimSpace(chunk)
+	verb, rest := s, ""
+	if i := strings.IndexAny(s, " \t"); i >= 0 {
+		verb, rest = s[:i], strings.TrimSpace(s[i+1:])
+	}
+	switch verb {
+	case KindPackage:
+		d.Kind = KindPackage
+		d.Arg = rest
+		if rest == "" {
+			return malformed()
+		}
+	case KindAllow, KindAllowFile:
+		d.Kind = verb
+		parseAllow(&d, rest)
+		if len(d.Analyzers) == 0 {
+			return malformed()
+		}
+	case KindAllocFree, KindNonBlocking:
+		d.Kind = verb
+		d.Arg = rest // optional free-form note
+	default:
+		return malformed()
+	}
+	return d
 }
 
 // parseAllow splits "analyzer1,analyzer2: justification".
@@ -104,12 +171,14 @@ func buildFileDirectives(fset *token.FileSet, file *ast.File) fileDirectives {
 	fd := fileDirectives{lineAllows: make(map[int][]Directive)}
 	for _, d := range parseDirectives(fset, file) {
 		switch d.Kind {
-		case "allow":
+		case KindAllow:
 			fd.lineAllows[d.Pos.Line] = append(fd.lineAllows[d.Pos.Line], d)
-		case "allow-file":
+		case KindAllowFile:
 			fd.fileAllows = append(fd.fileAllows, d)
-		case "package":
-			// handled at load time
+		case KindPackage, KindAllocFree, KindNonBlocking:
+			// package: handled at load time.
+			// allocfree/nonblocking: function annotations, consumed by
+			// the analyzers through ParseDirectives.
 		default:
 			fd.malformed = append(fd.malformed, d)
 		}
@@ -142,7 +211,7 @@ func (fd *fileDirectives) suppressors(analyzer string, line int) []Directive {
 func packageOverride(fset *token.FileSet, files []*ast.File) string {
 	for _, f := range files {
 		for _, d := range parseDirectives(fset, f) {
-			if d.Kind == "package" && d.Arg != "" {
+			if d.Kind == KindPackage && d.Arg != "" {
 				return d.Arg
 			}
 		}

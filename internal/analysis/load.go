@@ -3,12 +3,14 @@ package analysis
 import (
 	"fmt"
 	"go/ast"
+	"go/build/constraint"
 	"go/importer"
 	"go/parser"
 	"go/token"
 	"go/types"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
 )
@@ -29,6 +31,26 @@ type Package struct {
 	// Errors holds parse and type errors. Analyzers still run on
 	// packages with errors only if the caller chooses to.
 	Errors []error
+
+	loader *Loader                    // back-reference for cross-package lookups
+	supp   map[string]*fileDirectives // lazy per-file directive cache, keyed by filename
+}
+
+// Suppressed reports whether a diagnostic from the named analyzer at
+// pos would be filtered by this package's own //pimvet:allow
+// directives. Cross-package analyzers use it so a justified exemption
+// inside a callee's package keeps suppressing the finding when the
+// callee is reached from a marked function elsewhere.
+func (p *Package) Suppressed(analyzer string, pos token.Position) bool {
+	if p.supp == nil {
+		p.supp = make(map[string]*fileDirectives, len(p.Files))
+		for _, f := range p.Files {
+			fd := buildFileDirectives(p.Fset, f)
+			p.supp[p.Fset.Position(f.Pos()).Filename] = &fd
+		}
+	}
+	fd := p.supp[pos.Filename]
+	return fd != nil && len(fd.suppressors(analyzer, pos.Line)) > 0
 }
 
 // Loader parses and type-checks packages of the enclosing module using
@@ -119,7 +141,7 @@ func (l *Loader) load(importPath, dir string) (*Package, error) {
 	if p, ok := l.pkgs[importPath]; ok {
 		return p, nil
 	}
-	pkg := &Package{Dir: dir, Path: importPath, Fset: l.fset}
+	pkg := &Package{Dir: dir, Path: importPath, Fset: l.fset, loader: l}
 	// Register before type-checking so import cycles fail in go/types
 	// (as an error) rather than recursing forever here.
 	l.pkgs[importPath] = pkg
@@ -142,7 +164,16 @@ func (l *Loader) load(importPath, dir string) (*Package, error) {
 		return nil, fmt.Errorf("analysis: no non-test Go files in %s", dir)
 	}
 	for _, n := range names {
-		f, err := parser.ParseFile(l.fset, filepath.Join(dir, n), nil, parser.ParseComments)
+		path := filepath.Join(dir, n)
+		src, err := os.ReadFile(path)
+		if err != nil {
+			pkg.Errors = append(pkg.Errors, err)
+			continue
+		}
+		if buildExcluded(src) {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, path, src, parser.ParseComments)
 		if err != nil {
 			pkg.Errors = append(pkg.Errors, err)
 			continue
@@ -171,6 +202,59 @@ func (l *Loader) load(importPath, dir string) (*Package, error) {
 		pkg.LogicalPath = o
 	}
 	return pkg, nil
+}
+
+// buildExcluded reports whether the file's //go:build constraint (if
+// any) excludes it from the default build the analyzer models: current
+// GOOS/GOARCH, gc, no extra tags. Without this, tag-paired files (such
+// as race.go/norace.go declaring the same constant) would both load and
+// collide in the type checker. Only the //go:build form is recognized;
+// the legacy // +build lines alone do not exclude a file.
+func buildExcluded(src []byte) bool {
+	for _, line := range strings.Split(string(src), "\n") {
+		trimmed := strings.TrimSpace(line)
+		if constraint.IsGoBuild(trimmed) {
+			expr, err := constraint.Parse(trimmed)
+			if err != nil {
+				return false
+			}
+			return !expr.Eval(buildTagSatisfied)
+		}
+		if trimmed == "" || strings.HasPrefix(trimmed, "//") {
+			continue
+		}
+		// Reached the package clause (constraints must precede it).
+		return false
+	}
+	return false
+}
+
+// buildTagSatisfied is the loader's tag assignment: the host platform
+// and compiler are in, every go1.N language tag this toolchain accepts
+// is in, and everything else (race, purego, custom tags) is out.
+func buildTagSatisfied(tag string) bool {
+	switch tag {
+	case runtime.GOOS, runtime.GOARCH, "gc", "unix":
+		return true
+	}
+	return strings.HasPrefix(tag, "go1.")
+}
+
+// PackageFor returns the loaded module package with the given import
+// path, loading it on demand. It returns nil for paths outside the
+// module and for packages that fail to load or type-check — callers
+// treat such callees as opaque.
+func (l *Loader) PackageFor(path string) *Package {
+	if path != l.ModPath && !strings.HasPrefix(path, l.ModPath+"/") {
+		return nil
+	}
+	rel := strings.TrimPrefix(strings.TrimPrefix(path, l.ModPath), "/")
+	dir := filepath.Join(l.ModRoot, filepath.FromSlash(rel))
+	p, err := l.load(path, dir)
+	if err != nil || p.Types == nil {
+		return nil
+	}
+	return p
 }
 
 // Import implements types.Importer.

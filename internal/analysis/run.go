@@ -46,6 +46,9 @@ func RunPackage(pkg *Package, analyzers []*Analyzer, opts Options) []Diagnostic 
 			Path:      pkg.LogicalPath,
 			diags:     &raw,
 		}
+		if pkg.loader != nil {
+			pass.Lookup = pkg.loader.PackageFor
+		}
 		a.Run(pass)
 	}
 

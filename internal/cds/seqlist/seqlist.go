@@ -5,8 +5,6 @@
 // batch of operations in a single traversal (Section 4.1).
 package seqlist
 
-import "sort"
-
 // OpKind is the kind of a set operation.
 type OpKind uint8
 
@@ -44,9 +42,22 @@ type node struct {
 
 // List is a sorted singly-linked list with a dummy head sentinel. The
 // zero value is not ready to use; call New.
+//
+// The list recycles removed nodes through a free list and keeps batch
+// scratch inside itself, so in steady state (removals feeding later
+// insertions, batch sizes stabilized) ApplyBatchInto runs without
+// heap allocation — a List is owned by one combiner, which must not
+// stall on GC while every published op on its shard waits.
 type List struct {
 	head *node // dummy sentinel, key irrelevant
 	size int
+
+	// free chains removed nodes for reuse by the next insertion.
+	free *node
+
+	// idx/tmp are ApplyBatchInto's sort scratch, grown to the largest
+	// batch seen.
+	idx, tmp []int
 
 	// steps counts node visits (pointer dereferences past the
 	// sentinel) so tests and the simulator can charge traversal
@@ -67,6 +78,23 @@ func (l *List) Steps() uint64 { return l.steps }
 
 // ResetSteps zeroes the visit counter.
 func (l *List) ResetSteps() { l.steps = 0 }
+
+// newNode takes a node from the free list, or allocates when the list
+// has never shrunk below its current size.
+func (l *List) newNode(key int64, next *node) *node {
+	if n := l.free; n != nil {
+		l.free = n.next
+		n.key, n.next = key, next
+		return n
+	}
+	return &node{key: key, next: next} //pimvet:allow allocfree: only net growth allocates; removed nodes are recycled through the free list
+}
+
+// freeNode recycles a node just unlinked from the list.
+func (l *List) freeNode(n *node) {
+	n.next = l.free
+	l.free = n
+}
 
 // find returns the last node with key < k, starting from from (which
 // must already satisfy from.key < k or be the sentinel).
@@ -94,7 +122,7 @@ func (l *List) AddKey(k int64) bool {
 	if pred.next != nil && pred.next.key == k {
 		return false
 	}
-	pred.next = &node{key: k, next: pred.next}
+	pred.next = l.newNode(k, pred.next)
 	l.size++
 	return true
 }
@@ -105,7 +133,9 @@ func (l *List) RemoveKey(k int64) bool {
 	if pred.next == nil || pred.next.key != k {
 		return false
 	}
-	pred.next = pred.next.next
+	gone := pred.next
+	pred.next = gone.next
+	l.freeNode(gone)
 	l.size--
 	return true
 }
@@ -135,14 +165,30 @@ func (l *List) Apply(op Op) bool {
 // keep their relative order.
 func (l *List) ApplyBatch(ops []Op) []bool {
 	results := make([]bool, len(ops))
+	l.ApplyBatchInto(ops, results)
+	return results
+}
+
+// ApplyBatchInto is ApplyBatch writing into a caller-provided results
+// slice (len(results) must equal len(ops)): the allocation-free form a
+// combiner calls every pass. Sort scratch and freed nodes are recycled
+// inside the List, so a batch no larger than any before it, against a
+// list no larger than its high-water mark, allocates nothing.
+//
+//pimvet:allocfree //pimvet:nonblocking
+func (l *List) ApplyBatchInto(ops []Op, results []bool) {
 	if len(ops) == 0 {
-		return results
+		return
 	}
-	idx := make([]int, len(ops))
+	if cap(l.idx) < len(ops) {
+		l.idx = make([]int, len(ops)) //pimvet:allow allocfree: amortized grow to the largest batch; steady state reuses
+		l.tmp = make([]int, len(ops)) //pimvet:allow allocfree: amortized grow to the largest batch; steady state reuses
+	}
+	idx := l.idx[:len(ops)]
 	for i := range idx {
 		idx[i] = i
 	}
-	sort.SliceStable(idx, func(a, b int) bool { return ops[idx[a]].Key < ops[idx[b]].Key })
+	stableSortByKey(ops, idx, l.tmp[:len(ops)])
 
 	pred := l.head
 	for _, i := range idx {
@@ -155,13 +201,15 @@ func (l *List) ApplyBatch(ops []Op) []bool {
 			if pred.next != nil && pred.next.key == op.Key {
 				results[i] = false
 			} else {
-				pred.next = &node{key: op.Key, next: pred.next}
+				pred.next = l.newNode(op.Key, pred.next)
 				l.size++
 				results[i] = true
 			}
 		case Remove:
 			if pred.next != nil && pred.next.key == op.Key {
-				pred.next = pred.next.next
+				gone := pred.next
+				pred.next = gone.next
+				l.freeNode(gone)
 				l.size--
 				results[i] = true
 			} else {
@@ -169,7 +217,42 @@ func (l *List) ApplyBatch(ops []Op) []bool {
 			}
 		}
 	}
-	return results
+}
+
+// stableSortByKey sorts idx so that ops[idx[i]].Key ascends, preserving
+// batch order between equal keys: bottom-up merge sort into tmp,
+// taking from the left run on ties. Equivalent ordering to
+// sort.SliceStable with a key comparison, without boxing the slice
+// into an interface or allocating the comparison closure per call.
+func stableSortByKey(ops []Op, idx, tmp []int) {
+	n := len(idx)
+	for width := 1; width < n; width *= 2 {
+		for lo := 0; lo+width < n; lo += 2 * width {
+			mid := lo + width
+			hi := lo + 2*width
+			if hi > n {
+				hi = n
+			}
+			copy(tmp[lo:hi], idx[lo:hi])
+			i, j := lo, mid
+			for k := lo; k < hi; k++ {
+				switch {
+				case i >= mid:
+					idx[k] = tmp[j]
+					j++
+				case j >= hi:
+					idx[k] = tmp[i]
+					i++
+				case ops[tmp[j]].Key < ops[tmp[i]].Key:
+					idx[k] = tmp[j]
+					j++
+				default:
+					idx[k] = tmp[i]
+					i++
+				}
+			}
+		}
+	}
 }
 
 // Keys returns the keys in ascending order (for tests).

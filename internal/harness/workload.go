@@ -123,12 +123,19 @@ type Zipf struct {
 	S float64 // skew exponent (> 1)
 }
 
-// Next returns a Zipf key. A Zipf source is created lazily per rng via
-// rand.NewZipf; to keep the interface stateless we recreate it from the
-// rng each call — rand.NewZipf is cheap for fixed parameters.
+// Next returns a Zipf key. The interface is stateless, so this path
+// recreates the rand.Zipf source from the rng each call; Generator
+// recognizes the Zipf distribution and caches the source instead
+// (rand.NewZipf draws nothing at construction, so both paths produce
+// the same key stream from the same rng).
 func (z Zipf) Next(rng *rand.Rand) int64 {
 	zf := rand.NewZipf(rng, z.S, 1, uint64(z.N-1))
 	return int64(zf.Uint64())
+}
+
+// source builds the cached form bound to rng.
+func (z Zipf) source(rng *rand.Rand) *rand.Zipf {
+	return rand.NewZipf(rng, z.S, 1, uint64(z.N-1))
 }
 
 // Space returns N.
@@ -187,20 +194,37 @@ type Generator struct {
 	rng  *rand.Rand
 	dist KeyDist
 	mix  Mix
+	zipf *rand.Zipf // cached Zipf source; nil for other distributions
 }
 
 // NewGenerator builds a generator; the same seed yields the same
-// stream.
+// stream. A Zipf distribution's source is built once here — Zipf.Next
+// would otherwise reconstruct it (and its internal state) on every
+// draw, allocating in the load generator's inner loop.
 func NewGenerator(seed int64, dist KeyDist, mix Mix) *Generator {
 	if err := mix.Validate(); err != nil {
 		panic(err)
 	}
-	return &Generator{rng: rand.New(rand.NewSource(seed)), dist: dist, mix: mix}
+	g := &Generator{rng: rand.New(rand.NewSource(seed)), dist: dist, mix: mix}
+	if z, ok := dist.(Zipf); ok {
+		g.zipf = z.source(g.rng)
+	}
+	return g
 }
 
-// Next returns the next operation.
+// Next returns the next operation. This is the injector's per-op cost
+// on every load path, so it stays allocation-free; the uncached
+// distributions draw through the KeyDist interface, whose module
+// implementations are pure arithmetic over the rng.
+//
+//pimvet:allocfree //pimvet:nonblocking
 func (g *Generator) Next() Op {
-	k := g.dist.Next(g.rng)
+	var k int64
+	if g.zipf != nil {
+		k = int64(g.zipf.Uint64())
+	} else {
+		k = g.dist.Next(g.rng)
+	}
 	r := g.rng.Intn(100)
 	switch {
 	case r < g.mix.ContainsPct:

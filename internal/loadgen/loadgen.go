@@ -268,7 +268,11 @@ func newOpStream(cfg Config, conn int) *opStream {
 }
 
 // traceFrame draws the per-frame sampling decision and, for sampled
-// frames, mints a nonzero trace ID from the same seeded stream.
+// frames, mints a nonzero trace ID from the same seeded stream. Runs
+// once per request frame on both loop disciplines, so it is pinned
+// allocation-free: tracing must not perturb the load being measured.
+//
+//pimvet:allocfree //pimvet:nonblocking
 func (st *opStream) traceFrame() (wire.TraceContext, bool) {
 	if st.traceBar == 0 {
 		return wire.TraceContext{}, false
@@ -286,7 +290,11 @@ func (st *opStream) traceFrame() (wire.TraceContext, bool) {
 
 // next returns the next operation. For queue/stack the set mix maps
 // onto the two ends: Add→Enqueue/Push (the key is the value),
-// everything else alternates Dequeue/Pop.
+// everything else alternates Dequeue/Pop. This is the injector's inner
+// loop — an allocation here is charged to every single op of every run
+// (and shows up in AllocsPerOp), so it is pinned allocation-free.
+//
+//pimvet:allocfree //pimvet:nonblocking
 func (st *opStream) next() wire.Op {
 	o := st.gen.Next()
 	op := wire.Op{ID: st.nextID, Key: o.Key}
@@ -391,6 +399,10 @@ type counters struct {
 }
 
 // observe records one response latency, tallying SLO budget overruns.
+// Called once per response on the measurement path: everything in it is
+// atomic counters, no locks, no allocation.
+//
+//pimvet:allocfree //pimvet:nonblocking
 func (c *counters) observe(lat *obs.Histogram, d int64, budget int64, status wire.Status) {
 	lat.Observe(d)
 	c.ops.Add(1)

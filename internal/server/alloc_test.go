@@ -1,0 +1,122 @@
+package server
+
+import (
+	"testing"
+	"time"
+
+	"pimds/internal/testenv"
+	"pimds/internal/wire"
+)
+
+// These tests pin the //pimvet:allocfree annotations on the server's
+// combining window with the runtime's allocation counter: once the
+// shard scratch and structure free lists are warm, a combine pass over
+// a size-stable batch must not touch the heap — a GC pause inside
+// applyBatch stalls every published op on the shard.
+
+func skipIfRace(t *testing.T) {
+	t.Helper()
+	if testenv.RaceEnabled {
+		t.Skip("AllocsPerRun is not meaningful under the race detector")
+	}
+}
+
+// steadyBatch builds Remove→Add pairs over even keys: size-stable
+// against a list preloaded with the same keys, so node free lists
+// recycle perfectly.
+func steadyBatch(n int) []pendingOp {
+	batch := make([]pendingOp, 0, 2*n)
+	for i := 0; i < n; i++ {
+		k := int64(2 * i)
+		batch = append(batch,
+			pendingOp{op: wire.Op{ID: uint64(2 * i), Kind: wire.Remove, Key: k}},
+			pendingOp{op: wire.Op{ID: uint64(2*i + 1), Kind: wire.Add, Key: k}},
+		)
+	}
+	return batch
+}
+
+func TestApplyBatchAllocs(t *testing.T) {
+	skipIfRace(t)
+	for _, structure := range []string{StructList, StructQueue, StructStack} {
+		t.Run(structure, func(t *testing.T) {
+			be, err := newBackend(structure, 0, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s := &Server{cfg: Config{}.withDefaults(), epoch: time.Now()}
+			sh := &shard{
+				be:      be,
+				batch:   make([]pendingOp, 0, wire.MaxOpsPerFrame),
+				ops:     make([]wire.Op, 0, wire.MaxOpsPerFrame),
+				results: make([]wire.Result, wire.MaxOpsPerFrame),
+			}
+			switch structure {
+			case StructList:
+				sh.batch = append(sh.batch, steadyBatch(64)...)
+				// Preload the even keys so removals in the steady batch
+				// always find their node.
+				pre := make([]wire.Op, 64)
+				out := make([]wire.Result, 64)
+				for i := range pre {
+					pre[i] = wire.Op{Kind: wire.Add, Key: int64(2 * i)}
+				}
+				be.ApplyBatch(pre, out)
+			case StructQueue:
+				for i := 0; i < 64; i++ {
+					sh.batch = append(sh.batch,
+						pendingOp{op: wire.Op{Kind: wire.Enqueue, Key: int64(i)}},
+						pendingOp{op: wire.Op{Kind: wire.Dequeue}},
+					)
+				}
+			case StructStack:
+				for i := 0; i < 64; i++ {
+					sh.batch = append(sh.batch,
+						pendingOp{op: wire.Op{Kind: wire.Push, Key: int64(i)}},
+						pendingOp{op: wire.Op{Kind: wire.Pop}},
+					)
+				}
+			}
+			s.applyBatch(sh, false) // warm scratch and free lists
+			avg := testing.AllocsPerRun(100, func() {
+				s.applyBatch(sh, false)
+			})
+			if avg != 0 {
+				t.Errorf("applyBatch(%s) steady state: %.1f allocs/op, want 0", structure, avg)
+			}
+			for i := range sh.batch {
+				if sh.results[i].Status != wire.StatusOK {
+					t.Fatalf("op %d: status %v", i, sh.results[i].Status)
+				}
+			}
+		})
+	}
+}
+
+func TestSampleHitAllocs(t *testing.T) {
+	skipIfRace(t)
+	c := &conn{rng: 0x9e3779b97f4a7c15}
+	var hits int
+	avg := testing.AllocsPerRun(1000, func() {
+		if c.sampleHit(1 << 60) {
+			hits++
+		}
+	})
+	if avg != 0 {
+		t.Errorf("sampleHit: %.1f allocs/op, want 0", avg)
+	}
+}
+
+func TestSpanComponentsAllocs(t *testing.T) {
+	skipIfRace(t)
+	sp := &span{start: 1, pub: 2, pick: 3, applyStart: 4, applied: 5, enc: 6, flush: 7}
+	var total int64
+	avg := testing.AllocsPerRun(1000, func() {
+		for _, v := range sp.components() {
+			total += v
+		}
+	})
+	if avg != 0 {
+		t.Errorf("span.components: %.1f allocs/op, want 0", avg)
+	}
+}

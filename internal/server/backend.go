@@ -17,6 +17,14 @@ import (
 // ApplyBatch executes ops[i] and writes its outcome to out[i]; kinds
 // have already been validated against the structure by the reader, so
 // a backend only sees kinds it supports.
+//
+// ApplyBatch runs inside the combining window (Server.applyBatch, which
+// is //pimvet:nonblocking), so every implementation must be marked
+// //pimvet:nonblocking — pimvet cannot see through the interface call,
+// so the contract is enforced on each implementation instead. The
+// list/queue/stack backends are additionally //pimvet:allocfree; skip
+// and hash structures allocate on insert by nature (towers, chain
+// entries) and carry only the nonblocking mark.
 type backend interface {
 	// ApplyBatch serves one combiner pass. len(out) == len(ops).
 	ApplyBatch(ops []wire.Op, out []wire.Result)
@@ -56,7 +64,11 @@ func kindSupported(structure string, k wire.OpKind) bool {
 func newBackend(structure string, shard int, seed int64) (backend, error) {
 	switch structure {
 	case StructList:
-		return &listBackend{l: seqlist.New()}, nil
+		return &listBackend{
+			l:   seqlist.New(),
+			ops: make([]seqlist.Op, 0, wire.MaxOpsPerFrame),
+			oks: make([]bool, wire.MaxOpsPerFrame),
+		}, nil
 	case StructSkip:
 		return &skipBackend{l: seqskip.New(uint64(seed) + uint64(shard)*0x9e3779b97f4a7c15)}, nil
 	case StructHash:
@@ -72,19 +84,24 @@ func newBackend(structure string, shard int, seed int64) (backend, error) {
 
 // listBackend serves set ops on a sorted linked list, using the
 // paper's combining optimization: the whole batch is sorted and served
-// in one traversal (seqlist.ApplyBatch), so a combiner pass costs one
-// walk instead of one walk per request.
+// in one traversal (seqlist.ApplyBatchInto), so a combiner pass costs
+// one walk instead of one walk per request. ops/oks are preallocated at
+// the frame cap so translation in and out of wire types allocates
+// nothing.
 type listBackend struct {
 	l   *seqlist.List
 	ops []seqlist.Op // scratch
+	oks []bool       // scratch
 }
 
+//pimvet:allocfree //pimvet:nonblocking
 func (b *listBackend) ApplyBatch(ops []wire.Op, out []wire.Result) {
 	b.ops = b.ops[:0]
 	for _, op := range ops {
 		b.ops = append(b.ops, seqlist.Op{Kind: seqlist.OpKind(op.Kind), Key: op.Key})
 	}
-	oks := b.l.ApplyBatch(b.ops)
+	oks := b.oks[:len(ops)]
+	b.l.ApplyBatchInto(b.ops, oks)
 	for i, op := range ops {
 		out[i] = wire.Result{ID: op.ID, Status: wire.StatusOK, OK: oks[i]}
 	}
@@ -92,11 +109,13 @@ func (b *listBackend) ApplyBatch(ops []wire.Op, out []wire.Result) {
 
 func (b *listBackend) Len() int { return b.l.Len() }
 
-// skipBackend serves set ops on a sequential skip-list.
+// skipBackend serves set ops on a sequential skip-list. Adds allocate
+// towers, so this backend is nonblocking but not allocfree.
 type skipBackend struct {
 	l *seqskip.List
 }
 
+//pimvet:nonblocking
 func (b *skipBackend) ApplyBatch(ops []wire.Op, out []wire.Result) {
 	for i, op := range ops {
 		ok := b.l.Apply(seqskip.Op{Kind: seqskip.OpKind(op.Kind), Key: op.Key})
@@ -107,11 +126,13 @@ func (b *skipBackend) ApplyBatch(ops []wire.Op, out []wire.Result) {
 func (b *skipBackend) Len() int { return b.l.Len() }
 
 // hashBackend serves set ops on a chained hash table (keys only; the
-// stored value mirrors the key).
+// stored value mirrors the key). Puts allocate chain entries, so this
+// backend is nonblocking but not allocfree.
 type hashBackend struct {
 	t *seqhash.Table
 }
 
+//pimvet:nonblocking
 func (b *hashBackend) ApplyBatch(ops []wire.Op, out []wire.Result) {
 	for i, op := range ops {
 		var ok bool
@@ -136,6 +157,7 @@ type queueBackend struct {
 	head, size int
 }
 
+//pimvet:allocfree //pimvet:nonblocking
 func (b *queueBackend) ApplyBatch(ops []wire.Op, out []wire.Result) {
 	for i, op := range ops {
 		switch op.Kind {
@@ -151,7 +173,7 @@ func (b *queueBackend) ApplyBatch(ops []wire.Op, out []wire.Result) {
 
 func (b *queueBackend) push(v int64) {
 	if b.size == len(b.buf) {
-		grown := make([]int64, 2*len(b.buf)+1)
+		grown := make([]int64, 2*len(b.buf)+1) //pimvet:allow allocfree: amortized ring doubling to the high-water depth; steady state reuses
 		for i := 0; i < b.size; i++ {
 			grown[i] = b.buf[(b.head+i)%len(b.buf)]
 		}
@@ -174,11 +196,13 @@ func (b *queueBackend) pop() (int64, bool) {
 func (b *queueBackend) Len() int { return b.size }
 
 // stackBackend is a LIFO stack over a slice. Pop reports OK=false on
-// empty.
+// empty. Pushes append into receiver storage: amortized growth to the
+// high-water depth, then allocation-free.
 type stackBackend struct {
 	vals []int64
 }
 
+//pimvet:allocfree //pimvet:nonblocking
 func (b *stackBackend) ApplyBatch(ops []wire.Op, out []wire.Result) {
 	for i, op := range ops {
 		switch op.Kind {

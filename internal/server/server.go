@@ -171,7 +171,10 @@ func (c *conn) deliver(d delivery) {
 // sampleHit advances the connection's private xorshift64 state and
 // reports whether this frame falls inside the sample. Only the reader
 // goroutine calls it, so the state needs no synchronization; the
-// unsampled path is three shifts and a compare, no allocation.
+// unsampled path is three shifts and a compare, no allocation — this is
+// the per-frame cost tracing adds to untraced traffic, so it is pinned.
+//
+//pimvet:allocfree //pimvet:nonblocking
 func (c *conn) sampleHit(threshold uint64) bool {
 	x := c.rng
 	x ^= x << 13
@@ -212,11 +215,17 @@ type Server struct {
 }
 
 // shard is one combiner: a bounded publication queue plus the
-// sequential structure only its loop touches.
+// sequential structure only its loop touches. batch/ops/results are the
+// combiner's scratch, preallocated at BatchMax in New so a combine pass
+// allocates nothing; only the combiner goroutine touches them.
 type shard struct {
 	idx int
 	in  chan pendingOp
 	be  backend
+
+	batch   []pendingOp
+	ops     []wire.Op
+	results []wire.Result
 
 	batchSize  *obs.Histogram
 	queueDepth *obs.Gauge
@@ -258,6 +267,9 @@ func New(cfg Config) (*Server, error) {
 			idx:        i,
 			in:         make(chan pendingOp, cfg.QueueDepth),
 			be:         be,
+			batch:      make([]pendingOp, 0, cfg.BatchMax),
+			ops:        make([]wire.Op, 0, cfg.BatchMax),
+			results:    make([]wire.Result, cfg.BatchMax),
 			batchSize:  cfg.Reg.Histogram(fmt.Sprintf("server/shard/%03d/batch_size", i)),
 			queueDepth: cfg.Reg.Gauge(fmt.Sprintf("server/shard/%03d/queue_depth", i)),
 			combines:   cfg.Reg.Counter(fmt.Sprintf("server/shard/%03d/combines", i)),
@@ -425,12 +437,7 @@ func (s *Server) reject(c *conn, res wire.Result) {
 // structure in one pass, and delivers the results.
 func (s *Server) combineLoop(sh *shard) {
 	defer s.shardWG.Done()
-	var (
-		batch   []pendingOp
-		ops     []wire.Op
-		results []wire.Result
-		traced  bool // any span in the current batch
-	)
+	traced := false // any span in the current batch
 	// take admits one op to the batch, stamping sampled ops' pickup
 	// time: everything before this instant is queue wait, everything
 	// until the batch executes is combine wait.
@@ -439,17 +446,17 @@ func (s *Server) combineLoop(sh *shard) {
 			p.sp.pick = s.now()
 			traced = true
 		}
-		batch = append(batch, p)
+		sh.batch = append(sh.batch, p)
 	}
 	for {
 		p, ok := <-sh.in
 		if !ok {
 			return
 		}
-		batch, traced = batch[:0], false
+		sh.batch, traced = sh.batch[:0], false
 		take(p)
 	gather:
-		for len(batch) < s.cfg.BatchMax {
+		for len(sh.batch) < s.cfg.BatchMax {
 			select {
 			case p, ok := <-sh.in:
 				if !ok {
@@ -460,10 +467,10 @@ func (s *Server) combineLoop(sh *shard) {
 				break gather
 			}
 		}
-		if w := s.cfg.CombineWait; w > 0 && len(batch) < s.cfg.BatchMax {
+		if w := s.cfg.CombineWait; w > 0 && len(sh.batch) < s.cfg.BatchMax {
 			timer := time.NewTimer(w)
 		linger:
-			for len(batch) < s.cfg.BatchMax {
+			for len(sh.batch) < s.cfg.BatchMax {
 				select {
 				case p, ok := <-sh.in:
 					if !ok {
@@ -476,40 +483,50 @@ func (s *Server) combineLoop(sh *shard) {
 			}
 			timer.Stop()
 		}
-		if traced {
-			tApply := s.now()
-			for _, p := range batch {
-				if p.sp != nil {
-					p.sp.applyStart = tApply
-				}
-			}
-		}
+		end := s.applyBatch(sh, traced)
 
-		ops = ops[:0]
-		for _, p := range batch {
-			ops = append(ops, p.op)
-		}
-		if cap(results) < len(batch) {
-			results = make([]wire.Result, len(batch))
-		}
-		results = results[:len(batch)]
-		sh.be.ApplyBatch(ops, results)
-		end := s.now()
-
-		s.cfg.Log.record(batch, results, end)
+		s.cfg.Log.record(sh.batch, sh.results, end)
 		sh.combines.Inc()
-		sh.batchSize.Observe(int64(len(batch)))
+		sh.batchSize.Observe(int64(len(sh.batch)))
 		sh.queueDepth.Set(int64(len(sh.in)))
-		s.opsTotal.Add(uint64(len(batch)))
-		for i, p := range batch {
+		s.opsTotal.Add(uint64(len(sh.batch)))
+		for i := range sh.batch {
+			p := &sh.batch[i]
 			s.opLatency.Observe(end - p.start)
 			if p.sp != nil {
 				p.sp.applied = end
 			}
-			p.conn.deliver(delivery{res: results[i], sp: p.sp})
+			p.conn.deliver(delivery{res: sh.results[i], sp: p.sp})
 			p.conn.inflight.Done()
 		}
 	}
+}
+
+// applyBatch executes the gathered batch against the shard's sequential
+// structure: it stamps sampled ops' apply-start, packs the ops into the
+// shard's scratch, runs one ApplyBatch pass, and returns the completion
+// stamp. This is the combining window itself — every published op on
+// the shard waits for it — so it must neither allocate (GC pauses here
+// stall the whole shard) nor touch anything that can park the combiner
+// goroutine; channel hand-offs stay in combineLoop on either side.
+//
+//pimvet:allocfree //pimvet:nonblocking
+func (s *Server) applyBatch(sh *shard, traced bool) int64 {
+	if traced {
+		tApply := s.now()
+		for i := range sh.batch {
+			if sp := sh.batch[i].sp; sp != nil {
+				sp.applyStart = tApply
+			}
+		}
+	}
+	sh.ops = sh.ops[:0]
+	for i := range sh.batch {
+		sh.ops = append(sh.ops, sh.batch[i].op)
+	}
+	sh.results = sh.results[:len(sh.batch)]
+	sh.be.ApplyBatch(sh.ops, sh.results)
+	return s.now()
 }
 
 // closeGrace bounds how long a closing connection waits for the client

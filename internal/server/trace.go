@@ -67,7 +67,10 @@ type SpanRecord struct {
 	ComponentsNS map[string]int64 `json:"components_ns"`
 }
 
-// components returns the telescoped breakdown in taxonomy order.
+// components returns the telescoped breakdown in taxonomy order. The
+// array return lives in the caller's frame: subtraction only, no heap.
+//
+//pimvet:allocfree //pimvet:nonblocking
 func (sp *span) components() [prof.NumServerComponents]int64 {
 	return [prof.NumServerComponents]int64{
 		prof.SrvReadDecode:  sp.pub - sp.start,

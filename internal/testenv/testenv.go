@@ -1,0 +1,11 @@
+// Package testenv exposes build-time facts tests need to decide what
+// they can meaningfully assert. Its one current export is whether the
+// race detector is compiled in: -race boxes allocations for shadow
+// tracking, so testing.AllocsPerRun pins (asserting 0 allocs/op on
+// //pimvet:allocfree paths) are skipped under it — the static analyzer
+// still enforces the property on every build.
+package testenv
+
+// RaceEnabled reports whether the binary was built with -race; set by
+// the build-tagged files race.go / norace.go.
+const RaceEnabled = raceEnabled
