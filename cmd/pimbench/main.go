@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"pimds/internal/benchfmt"
+	"pimds/internal/buildinfo"
 	"pimds/internal/harness"
 	"pimds/internal/model"
 )
@@ -46,8 +47,13 @@ func main() {
 		seed     = flag.Int64("seed", 0, "workload seed for simulator experiments (0 = historical streams)")
 		dist     = flag.String("dist", "uniform", "key distribution for host set experiments: uniform | zipf[:S] | hot[:H/F]")
 		jsonPath = flag.String("json", "", "also write results as machine-readable JSON to this file ('-' = stdout)")
+		version  = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.Line("pimbench"))
+		return
+	}
 
 	if *list || *expID == "" {
 		fmt.Println("available experiments:")

@@ -15,11 +15,15 @@ package main
 //pimvet:allow-file determinism: load-generator binary measures wall-clock round trips against a live server; key streams remain seeded
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
 	"time"
 
+	"pimds/internal/buildinfo"
 	"pimds/internal/harness"
 	"pimds/internal/loadgen"
 )
@@ -41,8 +45,14 @@ func main() {
 		traceSamp = flag.Float64("trace-sample", 0, "fraction of request frames sent with trace context (server records spans for them)")
 		sloP99    = flag.Duration("slo-p99", 0, "p99 latency budget; prints an SLO verdict and burn rate (0 = off)")
 		sloStrict = flag.Bool("slo-strict", false, "exit 3 when the SLO verdict is FAIL")
+		healthURL = flag.String("health", "", "pimserve /healthz URL to cite next to the client-side verdict (empty = off)")
+		version   = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.Line("pimload"))
+		return
+	}
 
 	kd, err := harness.ParseKeyDist(*dist, *keys)
 	if err != nil {
@@ -85,6 +95,16 @@ func main() {
 	}
 	fmt.Println(res)
 
+	if *healthURL != "" {
+		// The client-side SLO verdict cites the server's own view: the
+		// /healthz verdict covers the load window just generated.
+		if line, err := scrapeHealth(*healthURL); err != nil {
+			fmt.Fprintf(os.Stderr, "pimload: health scrape: %v\n", err)
+		} else {
+			fmt.Println("server health:", line)
+		}
+	}
+
 	if *jsonPath != "" {
 		w := os.Stdout
 		if *jsonPath != "-" {
@@ -105,4 +125,33 @@ func main() {
 	if slo, ok := res.SLO(); ok && !slo.Met && *sloStrict {
 		os.Exit(3)
 	}
+}
+
+// scrapeHealth fetches a /healthz document and folds it to one line:
+// the status plus any non-ok rules.
+func scrapeHealth(url string) (string, error) {
+	client := &http.Client{Timeout: 5 * time.Second}
+	resp, err := client.Get(url)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	var doc struct {
+		Status string `json:"status"`
+		Rules  []struct {
+			Rule   string `json:"rule"`
+			State  string `json:"state"`
+			Reason string `json:"reason"`
+		} `json:"rules"`
+	}
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&doc); err != nil {
+		return "", err
+	}
+	line := doc.Status
+	for _, r := range doc.Rules {
+		if r.State != "ok" {
+			line += fmt.Sprintf("; [%s] %s: %s", r.State, r.Rule, r.Reason)
+		}
+	}
+	return line, nil
 }

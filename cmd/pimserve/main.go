@@ -26,6 +26,7 @@ import (
 	"syscall"
 	"time"
 
+	"pimds/internal/buildinfo"
 	"pimds/internal/obs"
 	"pimds/internal/server"
 )
@@ -43,12 +44,19 @@ func main() {
 		idleTimeout = flag.Duration("idle-timeout", 0, "close connections idle this long (0 = never)")
 		writeTO     = flag.Duration("write-timeout", 30*time.Second, "per-frame write deadline to slow clients")
 		seed        = flag.Int64("seed", 1, "skip-list tower seed")
-		opsAddr     = flag.String("ops-addr", "", "HTTP ops endpoint: Prometheus /metrics, /slow, /trace, /debug/pprof (empty = off)")
+		opsAddr     = flag.String("ops-addr", "", "HTTP ops endpoint: Prometheus /metrics, /metrics/history, /healthz, /buildinfo, /slow, /trace, /debug/pprof (empty = off)")
 		traceSample = flag.Float64("trace-sample", 0, "fraction of request frames to trace (0 = only client-requested)")
 		traceRing   = flag.Int("trace-ring", 256, "finished spans retained per shard for /trace")
 		slowThresh  = flag.Duration("slow-threshold", 0, "log sampled requests at least this slow to /slow (0 = off)")
+		windowTick  = flag.Duration("window-tick", time.Second, "windowed-metrics rotation interval for /metrics/history and /healthz (0 = off)")
+		healthP99   = flag.Duration("health-p99", 0, "p99 latency budget for the health rules (0 = default)")
+		version     = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.Line("pimserve"))
+		return
+	}
 
 	if (*structure == server.StructQueue || *structure == server.StructStack) && *shards > 1 {
 		fmt.Fprintf(os.Stderr, "pimserve: %s is inherently serial; forcing -shards 1 (was %d)\n", *structure, *shards)
@@ -70,6 +78,8 @@ func main() {
 		TraceSample:   *traceSample,
 		TraceRing:     *traceRing,
 		SlowThreshold: *slowThresh,
+		WindowTick:    *windowTick,
+		HealthRules:   server.DefaultHealthRules(*healthP99),
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)

@@ -17,6 +17,7 @@ import (
 	"math/rand"
 	"os"
 
+	"pimds/internal/buildinfo"
 	"pimds/internal/core/pimhash"
 	"pimds/internal/core/pimlist"
 	"pimds/internal/core/pimqueue"
@@ -49,8 +50,13 @@ func main() {
 		metrics   = flag.String("metrics", "", "write a metrics snapshot as JSON to this file (\"-\" or /dev/stdout for stdout)")
 		profile   = flag.String("profile", "", "write a per-request critical-path attribution report as JSON to this file (\"-\" = stdout)")
 		flame     = flag.String("flame", "", "write folded flamegraph stacks (component;structure;kind) to this file (\"-\" = stdout)")
+		version   = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.Line("pimsim"))
+		return
+	}
 
 	pr := model.Params{Lcpu: model.DefaultLcpu, R1: *r1, R2: *r2, R3: *r3}
 	if err := pr.Validate(); err != nil {

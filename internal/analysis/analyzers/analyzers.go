@@ -70,6 +70,7 @@ const (
 	corePath   = "pimds/internal/core"
 	cdsPath    = "pimds/internal/cds"
 	obsPath    = "pimds/internal/obs"
+	healthPath = "pimds/internal/obs/health"
 	profPath   = "pimds/internal/prof"
 	serverPath = "pimds/internal/server"
 )

@@ -39,13 +39,23 @@ import (
 // side.
 //
 // In pimds/internal/server the concern inverts: observability must not
-// tax the unobserved fast path. The request tracer's contract is that
-// a span is allocated only for sampled requests, so inside the server
-// hot loops (readLoop, combineLoop, writeLoop — any for/range body) an
-// allocation of the span type (&span{...} or new(span)) must sit
-// behind a conditional (the sampling guard). An unconditional span
-// allocation in a loop charges every request the tracer's cost and is
-// flagged.
+// tax the unobserved fast path. Two rules apply:
+//
+//   - The request tracer's contract is that a span is allocated only
+//     for sampled requests, so inside the server hot loops (readLoop,
+//     combineLoop, writeLoop — any for/range body) an allocation of
+//     the span type (&span{...} or new(span)) must sit behind a
+//     conditional (the sampling guard). An unconditional span
+//     allocation in a loop charges every request the tracer's cost and
+//     is flagged.
+//
+//   - Metrics-window rotation is ticker-only: (*obs.Window).Rotate and
+//     (*health.Engine).Evaluate may be called only from functions
+//     marked //pimvet:rotator — the dedicated ticker goroutine that
+//     owns the window. A rotation from a reader, combiner, writer or
+//     HTTP handler would snapshot the whole registry (allocating,
+//     taking the registry mutex) on a request path; handlers read the
+//     rotator's cached verdict instead.
 var ObsSafety = &analysis.Analyzer{
 	Name: "obssafety",
 	Doc:  "flags handler code whose simulated behaviour can depend on observability state",
@@ -62,6 +72,7 @@ var obsReadMethods = map[string]bool{
 func runObsSafety(pass *analysis.Pass) {
 	if underPath(pass.Path, serverPath) {
 		checkServerSpanAllocs(pass)
+		checkServerRotation(pass)
 		return
 	}
 	inSim := underPath(pass.Path, simPath)
@@ -136,6 +147,52 @@ func checkServerSpanAllocs(pass *analysis.Pass) {
 					"span allocated unconditionally inside a hot loop; span allocation must sit behind the sampling guard (if sampled { ... }) so unsampled requests pay nothing for tracing")
 			}
 			stack = append(stack, n)
+			return true
+		})
+	}
+}
+
+// checkServerRotation enforces the window's ticker-only contract in
+// the server: calls that drive the metrics window forward —
+// (*obs.Window).Rotate and (*health.Engine).Evaluate — are legal only
+// inside function declarations marked //pimvet:rotator. Function
+// literals are analyzed as functions in their own right and carry no
+// mark, so the rotation calls must live in the named rotator functions
+// themselves, not in closures they spawn.
+func checkServerRotation(pass *analysis.Pass) {
+	marked, stray := markedFuncs(pass, analysis.KindRotator)
+	reportStray(pass, analysis.KindRotator, stray)
+	rotators := make(map[*ast.BlockStmt]bool, len(marked))
+	for _, m := range marked {
+		rotators[m.body] = true
+	}
+	info := pass.TypesInfo
+	for _, fn := range allFuncs(pass.Files) {
+		if rotators[fn.body] {
+			continue
+		}
+		inspectShallow(fn.body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			s, ok := info.Selections[sel]
+			if !ok {
+				return true
+			}
+			name := s.Obj().Name()
+			switch {
+			case name == "Rotate" && typeFromPkg(s.Recv(), obsPath, false):
+				pass.Reportf(sel.Sel.Pos(),
+					"window rotation outside a //pimvet:rotator function; rotation is ticker-only — a Rotate on a request path snapshots the whole registry per call")
+			case name == "Evaluate" && typeFromPkg(s.Recv(), healthPath, false):
+				pass.Reportf(sel.Sel.Pos(),
+					"health evaluation outside a //pimvet:rotator function; evaluation runs on the rotation tick only — handlers read the cached verdict")
+			}
 			return true
 		})
 	}

@@ -15,3 +15,7 @@ func TestObsSafety(t *testing.T) {
 func TestObsSafetyServerSpans(t *testing.T) {
 	analysistest.Run(t, "testdata/src/obssafety_span", analyzers.ObsSafety, analysis.Options{})
 }
+
+func TestObsSafetyServerRotation(t *testing.T) {
+	analysistest.Run(t, "testdata/src/obssafety_rotate", analyzers.ObsSafety, analysis.Options{})
+}

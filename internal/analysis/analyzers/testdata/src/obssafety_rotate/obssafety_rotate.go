@@ -1,0 +1,71 @@
+// Fixture for the obssafety analyzer's ticker-only rotation check:
+// (*obs.Window).Rotate and (*health.Engine).Evaluate may be called
+// only from functions marked //pimvet:rotator.
+//
+//pimvet:package pimds/internal/server/fixture
+package fixture
+
+import (
+	"time"
+
+	"pimds/internal/obs"
+	"pimds/internal/obs/health"
+)
+
+type server struct {
+	win *obs.Window
+	eng *health.Engine
+}
+
+// rotateLoop is the sanctioned shape: one dedicated ticker goroutine
+// owns rotation and health evaluation.
+//
+//pimvet:rotator
+func (s *server) rotateLoop(stop chan struct{}) {
+	t := time.NewTicker(time.Second)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+			s.win.Rotate()
+			_ = s.eng.Evaluate(s.win.History())
+		}
+	}
+}
+
+// scrapeHandler rotating on demand would snapshot the registry per
+// request: flagged.
+func (s *server) scrapeHandler() *obs.History {
+	s.win.Rotate() // want `window rotation outside a //pimvet:rotator function`
+	return s.win.History()
+}
+
+// combinePass evaluating health per batch: flagged.
+func (s *server) combinePass() bool {
+	v := s.eng.Evaluate(s.win.History()) // want `health evaluation outside a //pimvet:rotator function`
+	return v.State == health.Ok
+}
+
+// rotateInClosure: a function literal carries no rotator mark even
+// inside a marked function — the goroutine it becomes runs on its own
+// schedule: flagged.
+//
+//pimvet:rotator
+func (s *server) rotateInClosure() func() {
+	return func() {
+		s.win.Rotate() // want `window rotation outside a //pimvet:rotator function`
+	}
+}
+
+// readHistory only reads; reading is legal anywhere.
+func (s *server) readHistory() *obs.History {
+	return s.win.History()
+}
+
+// A rotator mark attached to no function declaration fails loudly
+// (the diagnostic lands on the directive itself).
+//
+//pimvet:rotator orphan note // want `rotator is not attached to a function declaration`
+var strayTarget = 0

@@ -24,11 +24,16 @@ import (
 //
 //	//pimvet:allocfree note
 //	//pimvet:nonblocking note
+//	//pimvet:rotator note
 //	    Function annotations, written in the doc comment of a function
-//	    declaration (or on the line directly above it). They declare a
-//	    hot-path contract — no heap allocations / no blocking
-//	    operations, transitively — that the allocfree and combinerpurity
-//	    analyzers enforce. The note is free-form and optional.
+//	    declaration (or on the line directly above it). allocfree and
+//	    nonblocking declare a hot-path contract — no heap allocations /
+//	    no blocking operations, transitively — that the allocfree and
+//	    combinerpurity analyzers enforce. rotator declares the function
+//	    a sanctioned owner of metrics-window rotation and health
+//	    evaluation (a dedicated ticker goroutine); obssafety flags
+//	    rotation anywhere else in the server. The note is free-form and
+//	    optional.
 //
 // The analyzer list may be "all" to cover every analyzer. A comment
 // recognized as a directive must begin with //pimvet: (no leading
@@ -45,6 +50,7 @@ const (
 	KindPackage     = "package"
 	KindAllocFree   = "allocfree"
 	KindNonBlocking = "nonblocking"
+	KindRotator     = "rotator"
 )
 
 // Directive is one parsed //pimvet: comment.
@@ -136,7 +142,7 @@ func parseOne(chunk string, pos token.Position) Directive {
 		if len(d.Analyzers) == 0 {
 			return malformed()
 		}
-	case KindAllocFree, KindNonBlocking:
+	case KindAllocFree, KindNonBlocking, KindRotator:
 		d.Kind = verb
 		d.Arg = rest // optional free-form note
 	default:
@@ -175,10 +181,10 @@ func buildFileDirectives(fset *token.FileSet, file *ast.File) fileDirectives {
 			fd.lineAllows[d.Pos.Line] = append(fd.lineAllows[d.Pos.Line], d)
 		case KindAllowFile:
 			fd.fileAllows = append(fd.fileAllows, d)
-		case KindPackage, KindAllocFree, KindNonBlocking:
+		case KindPackage, KindAllocFree, KindNonBlocking, KindRotator:
 			// package: handled at load time.
-			// allocfree/nonblocking: function annotations, consumed by
-			// the analyzers through ParseDirectives.
+			// allocfree/nonblocking/rotator: function annotations,
+			// consumed by the analyzers through ParseDirectives.
 		default:
 			fd.malformed = append(fd.malformed, d)
 		}

@@ -1,0 +1,86 @@
+// Package buildinfo surfaces what exact build of pimds is running:
+// the release version (stamped at link time), the git revision and
+// dirty bit (read from the binary's embedded VCS metadata), and the Go
+// toolchain. Every binary answers -version with one line of it, and
+// pimserve serves the full document at the ops endpoint's /buildinfo —
+// the first question of any regression triage is "which build", and
+// the answer should come from the process itself, not from deploy
+// records.
+package buildinfo
+
+import (
+	"encoding/json"
+	"io"
+	"runtime"
+	"runtime/debug"
+)
+
+// Version is the release version, overridden at link time:
+//
+//	go build -ldflags "-X pimds/internal/buildinfo.Version=v1.2.3"
+//
+// Unstamped builds report "dev".
+var Version = "dev"
+
+// Info describes one binary's build.
+type Info struct {
+	Version   string `json:"version"`
+	GitSHA    string `json:"git_sha,omitempty"`
+	GitTime   string `json:"git_time,omitempty"`
+	GitDirty  bool   `json:"git_dirty,omitempty"`
+	GoVersion string `json:"go_version"`
+	Module    string `json:"module"`
+}
+
+// Get reads the running binary's build information. Fields missing
+// from the embedded metadata (e.g. a non-VCS build) stay empty.
+func Get() Info {
+	info := Info{
+		Version:   Version,
+		GoVersion: runtime.Version(),
+	}
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return info
+	}
+	info.Module = bi.Main.Path
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			info.GitSHA = s.Value
+		case "vcs.time":
+			info.GitTime = s.Value
+		case "vcs.modified":
+			info.GitDirty = s.Value == "true"
+		}
+	}
+	return info
+}
+
+// String renders the one-line form the -version flags print.
+func (i Info) String() string {
+	s := i.Version
+	if sha := i.GitSHA; sha != "" {
+		if len(sha) > 12 {
+			sha = sha[:12]
+		}
+		if i.GitDirty {
+			sha += "-dirty"
+		}
+		s += " (" + sha + ")"
+	}
+	return s + " " + i.GoVersion
+}
+
+// Line is the full -version output for the named command.
+func Line(cmd string) string {
+	return cmd + " " + Get().String()
+}
+
+// WriteJSON writes the build document as indented JSON (the
+// /buildinfo ops endpoint body).
+func WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(Get())
+}

@@ -1,0 +1,51 @@
+package buildinfo
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestGetReportsToolchain(t *testing.T) {
+	i := Get()
+	if i.Version == "" {
+		t.Error("empty version")
+	}
+	if !strings.HasPrefix(i.GoVersion, "go") {
+		t.Errorf("go version %q", i.GoVersion)
+	}
+	// Test binaries embed build info with the module path.
+	if i.Module != "pimds" {
+		t.Errorf("module %q, want pimds", i.Module)
+	}
+}
+
+func TestStringForms(t *testing.T) {
+	i := Info{Version: "v1.2.3", GoVersion: "go1.22.0"}
+	if got := i.String(); got != "v1.2.3 go1.22.0" {
+		t.Errorf("no-vcs string %q", got)
+	}
+	i.GitSHA = "0123456789abcdef0123"
+	i.GitDirty = true
+	if got := i.String(); got != "v1.2.3 (0123456789ab-dirty) go1.22.0" {
+		t.Errorf("vcs string %q", got)
+	}
+	if got := Line("pimserve"); !strings.HasPrefix(got, "pimserve ") {
+		t.Errorf("line %q", got)
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var i Info
+	if err := json.Unmarshal(buf.Bytes(), &i); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.Bytes())
+	}
+	if i.GoVersion == "" || i.Version == "" {
+		t.Errorf("round-trip lost fields: %+v", i)
+	}
+}

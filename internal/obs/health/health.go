@@ -1,0 +1,437 @@
+// Package health is a rule-driven health engine over windowed metrics:
+// declarative rules evaluate an obs.History — the tiered per-interval
+// delta document an obs.Window maintains — into an ok/degraded/failing
+// verdict with per-rule reasons. The server caches the verdict on
+// every window rotation and serves it at /healthz; nothing here runs
+// on a request path.
+//
+// Rules read *windows*, not cumulative totals, because health is about
+// dynamics: a p99 ceiling is breached by the last second's latency,
+// not the lifetime aggregate; queue depth matters when it grows
+// monotonically, not when it once spiked; combining-factor collapse is
+// the flat-combining engine degrading under current load. Metric
+// fields accept a single-segment wildcard ("server/shard/*/batch_size")
+// so per-shard series aggregate into one verdict.
+package health
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"time"
+
+	"pimds/internal/obs"
+)
+
+// State orders health severities: the engine's overall state is the
+// worst any rule reports.
+type State int
+
+const (
+	Ok State = iota
+	Degraded
+	Failing
+)
+
+// String returns the wire form served at /healthz.
+func (s State) String() string {
+	switch s {
+	case Degraded:
+		return "degraded"
+	case Failing:
+		return "failing"
+	default:
+		return "ok"
+	}
+}
+
+// MarshalJSON encodes the state as its string form.
+func (s State) MarshalJSON() ([]byte, error) {
+	return []byte(`"` + s.String() + `"`), nil
+}
+
+// UnmarshalJSON accepts the string form, so /healthz documents
+// round-trip into clients (pimtop decodes them).
+func (s *State) UnmarshalJSON(b []byte) error {
+	var str string
+	if err := json.Unmarshal(b, &str); err != nil {
+		return err
+	}
+	switch str {
+	case "ok":
+		*s = Ok
+	case "degraded":
+		*s = Degraded
+	case "failing":
+		*s = Failing
+	default:
+		return fmt.Errorf("health: unknown state %q", str)
+	}
+	return nil
+}
+
+// RuleResult is one rule's verdict.
+type RuleResult struct {
+	Rule   string  `json:"rule"`
+	State  State   `json:"state"`
+	Reason string  `json:"reason"`
+	Value  float64 `json:"value"`
+}
+
+// Rule evaluates one health invariant over a window history.
+type Rule interface {
+	Name() string
+	Eval(h *obs.History) RuleResult
+}
+
+// Verdict is the engine's aggregate answer: the worst rule state plus
+// every rule's individual result, in rule-registration order.
+type Verdict struct {
+	State State        `json:"state"`
+	Rules []RuleResult `json:"rules"`
+}
+
+// Engine evaluates a fixed rule set.
+type Engine struct {
+	rules []Rule
+}
+
+// NewEngine builds an engine over rules (order is preserved in
+// verdicts).
+func NewEngine(rules ...Rule) *Engine {
+	return &Engine{rules: rules}
+}
+
+// Evaluate runs every rule over h and folds the worst state. A nil
+// engine or empty rule set is ok. Evaluation belongs next to window
+// rotation (the ticker goroutine); request handlers read the cached
+// verdict.
+func (e *Engine) Evaluate(h *obs.History) Verdict {
+	v := Verdict{State: Ok, Rules: []RuleResult{}}
+	if e == nil {
+		return v
+	}
+	for _, r := range e.rules {
+		res := r.Eval(h)
+		if res.Rule == "" {
+			res.Rule = r.Name()
+		}
+		if res.State > v.State {
+			v.State = res.State
+		}
+		v.Rules = append(v.Rules, res)
+	}
+	return v
+}
+
+// matchMetric reports whether name matches pattern, where one "*"
+// pattern segment matches exactly one name segment.
+func matchMetric(pattern, name string) bool {
+	if !strings.Contains(pattern, "*") {
+		return pattern == name
+	}
+	ps := strings.Split(pattern, "/")
+	ns := strings.Split(name, "/")
+	if len(ps) != len(ns) {
+		return false
+	}
+	for i := range ps {
+		if ps[i] != "*" && ps[i] != ns[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// latest returns the newest sample of the named tier ("" = finest), or
+// nil when the window has not closed one yet.
+func latest(h *obs.History, tier string) *obs.WindowSample {
+	return h.Tier(tier).Latest()
+}
+
+// grade maps a value against warn/fail thresholds where larger is
+// worse (invert the comparison before calling for floors).
+func grade(v, warn, fail float64) State {
+	switch {
+	case fail > 0 && v >= fail:
+		return Failing
+	case warn > 0 && v >= warn:
+		return Degraded
+	default:
+		return Ok
+	}
+}
+
+// noSamples is the shared idle answer before the first rotation.
+func noSamples(name string) RuleResult {
+	return RuleResult{Rule: name, State: Ok, Reason: "no window samples yet"}
+}
+
+// QuantileCeiling flags a latency quantile of the latest window
+// exceeding its ceiling: the "p99 over budget right now" rule. With a
+// wildcard Metric the worst matching series decides. Intervals with
+// fewer than MinCount observations are reported ok ("idle") so an
+// unloaded server is healthy by definition.
+type QuantileCeiling struct {
+	RuleName string
+	Metric   string        // histogram name or single-* pattern
+	Quantile float64       // 0.50, 0.95 or 0.99 (nearest snapshot field)
+	Tier     string        // "" = finest
+	Warn     time.Duration // degraded at or above; 0 disables
+	Fail     time.Duration // failing at or above; 0 disables
+	MinCount uint64        // skip intervals with fewer observations
+}
+
+// Name implements Rule.
+func (r QuantileCeiling) Name() string { return r.RuleName }
+
+// Eval implements Rule.
+func (r QuantileCeiling) Eval(h *obs.History) RuleResult {
+	s := latest(h, r.Tier)
+	if s == nil {
+		return noSamples(r.RuleName)
+	}
+	var worst int64
+	var worstName string
+	var n uint64
+	for name, hs := range s.Histograms {
+		if !matchMetric(r.Metric, name) {
+			continue
+		}
+		n += hs.Count
+		q := hs.P99
+		switch {
+		case r.Quantile <= 0.50:
+			q = hs.P50
+		case r.Quantile <= 0.95:
+			q = hs.P95
+		}
+		if q > worst {
+			worst, worstName = q, name
+		}
+	}
+	if n < r.MinCount {
+		return RuleResult{Rule: r.RuleName, State: Ok,
+			Reason: fmt.Sprintf("idle: %d observations in window (min %d)", n, r.MinCount)}
+	}
+	st := grade(float64(worst), float64(r.Warn.Nanoseconds()), float64(r.Fail.Nanoseconds()))
+	reason := fmt.Sprintf("p%d(%s) = %s over the last window (warn %s, fail %s)",
+		int(r.Quantile*100), worstName, time.Duration(worst), r.Warn, r.Fail)
+	if st == Ok {
+		reason = fmt.Sprintf("p%d = %s within ceiling", int(r.Quantile*100), time.Duration(worst))
+	}
+	return RuleResult{Rule: r.RuleName, State: st, Reason: reason, Value: float64(worst)}
+}
+
+// GaugeGrowth flags a gauge (summed across wildcard matches) growing
+// monotonically across the last Lookback samples — the queue-depth
+// onset-of-overload signal: depth bouncing around is backpressure
+// working, depth only ever rising is a combiner falling behind.
+type GaugeGrowth struct {
+	RuleName string
+	Metric   string // gauge name or single-* pattern
+	Tier     string
+	Lookback int     // samples to examine (≥ 2)
+	Warn     float64 // degraded when latest ≥ Warn × oldest; 0 disables
+	Fail     float64 // failing threshold on the same ratio; 0 disables
+	MinValue int64   // ignore growth below this absolute depth
+}
+
+// Name implements Rule.
+func (r GaugeGrowth) Name() string { return r.RuleName }
+
+// Eval implements Rule.
+func (r GaugeGrowth) Eval(h *obs.History) RuleResult {
+	t := h.Tier(r.Tier)
+	if t == nil || len(t.Samples) == 0 {
+		return noSamples(r.RuleName)
+	}
+	look := r.Lookback
+	if look < 2 {
+		look = 2
+	}
+	if len(t.Samples) < look {
+		return RuleResult{Rule: r.RuleName, State: Ok,
+			Reason: fmt.Sprintf("warming up: %d of %d samples", len(t.Samples), look)}
+	}
+	sum := func(s *obs.WindowSample) int64 {
+		var v int64
+		for name, g := range s.Gauges {
+			if matchMetric(r.Metric, name) {
+				v += g
+			}
+		}
+		return v
+	}
+	window := t.Samples[len(t.Samples)-look:]
+	prev := sum(&window[0])
+	first := prev
+	rising := true
+	for i := 1; i < len(window); i++ {
+		cur := sum(&window[i])
+		if cur <= prev {
+			rising = false
+			break
+		}
+		prev = cur
+	}
+	last := sum(&window[len(window)-1])
+	if !rising || last < r.MinValue {
+		return RuleResult{Rule: r.RuleName, State: Ok,
+			Reason: fmt.Sprintf("depth %d not monotonically growing over %d samples", last, look),
+			Value:  float64(last)}
+	}
+	ratio := float64(last)
+	if first > 0 {
+		ratio = float64(last) / float64(first)
+	}
+	st := grade(ratio, r.Warn, r.Fail)
+	return RuleResult{Rule: r.RuleName, State: st, Value: float64(last),
+		Reason: fmt.Sprintf("depth grew %d → %d monotonically over %d samples (×%.1f)",
+			first, last, look, ratio)}
+}
+
+// RatioFloor flags a histogram-derived mean falling under a floor —
+// the combining-factor collapse rule: mean batch size across the
+// latest window dropping toward 1 means flat combining has degraded
+// into one-op-per-pass serving. The mean aggregates exactly across
+// wildcard matches (Σ sum / Σ count). Intervals with fewer than
+// MinCount observations are idle, not unhealthy.
+type RatioFloor struct {
+	RuleName string
+	Metric   string // histogram name or single-* pattern
+	Tier     string
+	Warn     float64 // degraded at or below; 0 disables
+	Fail     float64 // failing at or below; 0 disables
+	MinCount uint64
+}
+
+// Name implements Rule.
+func (r RatioFloor) Name() string { return r.RuleName }
+
+// Eval implements Rule.
+func (r RatioFloor) Eval(h *obs.History) RuleResult {
+	s := latest(h, r.Tier)
+	if s == nil {
+		return noSamples(r.RuleName)
+	}
+	var count uint64
+	var sum int64
+	for name, hs := range s.Histograms {
+		if matchMetric(r.Metric, name) {
+			count += hs.Count
+			sum += hs.Sum
+		}
+	}
+	if count < r.MinCount || count == 0 {
+		return RuleResult{Rule: r.RuleName, State: Ok,
+			Reason: fmt.Sprintf("idle: %d observations in window (min %d)", count, r.MinCount)}
+	}
+	mean := float64(sum) / float64(count)
+	st := Ok
+	if r.Fail > 0 && mean <= r.Fail {
+		st = Failing
+	} else if r.Warn > 0 && mean <= r.Warn {
+		st = Degraded
+	}
+	return RuleResult{Rule: r.RuleName, State: st, Value: mean,
+		Reason: fmt.Sprintf("mean %.2f over the last window (warn ≤%.2f, fail ≤%.2f)",
+			mean, r.Warn, r.Fail)}
+}
+
+// ErrorRate flags the fraction err/total of the latest window
+// exceeding thresholds. Both counters aggregate across wildcard
+// matches; windows with fewer than MinOps total are idle.
+type ErrorRate struct {
+	RuleName string
+	Err      string // counter name or single-* pattern
+	Total    string
+	Tier     string
+	Warn     float64 // degraded at or above this fraction; 0 disables
+	Fail     float64
+	MinOps   uint64
+}
+
+// Name implements Rule.
+func (r ErrorRate) Name() string { return r.RuleName }
+
+// Eval implements Rule.
+func (r ErrorRate) Eval(h *obs.History) RuleResult {
+	s := latest(h, r.Tier)
+	if s == nil {
+		return noSamples(r.RuleName)
+	}
+	var errs, total uint64
+	for name, v := range s.Counters {
+		if matchMetric(r.Err, name) {
+			errs += v
+		}
+		if matchMetric(r.Total, name) {
+			total += v
+		}
+	}
+	if total < r.MinOps || total == 0 {
+		return RuleResult{Rule: r.RuleName, State: Ok,
+			Reason: fmt.Sprintf("idle: %d ops in window (min %d)", total, r.MinOps)}
+	}
+	frac := float64(errs) / float64(total)
+	st := grade(frac, r.Warn, r.Fail)
+	return RuleResult{Rule: r.RuleName, State: st, Value: frac,
+		Reason: fmt.Sprintf("%d/%d errors (%.2f%%) over the last window (warn %.2f%%, fail %.2f%%)",
+			errs, total, frac*100, r.Warn*100, r.Fail*100)}
+}
+
+// SLOBurn estimates how fast a p99 latency SLO's 1% error budget is
+// being consumed, from the latest window's quantile staircase: p99
+// over budget means at least 1% of requests were over (burn ≥ 1×), p95
+// over means ≥ 5% (burn ≥ 5×), p50 over means ≥ 50% (burn ≥ 50×). The
+// estimate is a lower bound at quantile granularity — exactly the
+// direction an alert should err.
+type SLOBurn struct {
+	RuleName string
+	Metric   string // histogram name or single-* pattern
+	Tier     string
+	Budget   time.Duration // the p99 budget
+	Warn     float64       // degraded at or above this burn; 0 disables
+	Fail     float64
+	MinCount uint64
+}
+
+// Name implements Rule.
+func (r SLOBurn) Name() string { return r.RuleName }
+
+// Eval implements Rule.
+func (r SLOBurn) Eval(h *obs.History) RuleResult {
+	s := latest(h, r.Tier)
+	if s == nil {
+		return noSamples(r.RuleName)
+	}
+	budget := r.Budget.Nanoseconds()
+	var burn float64
+	var n uint64
+	for name, hs := range s.Histograms {
+		if !matchMetric(r.Metric, name) {
+			continue
+		}
+		n += hs.Count
+		var b float64
+		switch {
+		case hs.P50 > budget:
+			b = 50
+		case hs.P95 > budget:
+			b = 5
+		case hs.P99 > budget:
+			b = 1
+		}
+		if b > burn {
+			burn = b
+		}
+	}
+	if n < r.MinCount {
+		return RuleResult{Rule: r.RuleName, State: Ok,
+			Reason: fmt.Sprintf("idle: %d observations in window (min %d)", n, r.MinCount)}
+	}
+	st := grade(burn, r.Warn, r.Fail)
+	return RuleResult{Rule: r.RuleName, State: st, Value: burn,
+		Reason: fmt.Sprintf("burning ≥%.0f× the p99≤%s error budget over the last window", burn, r.Budget)}
+}

@@ -1,0 +1,304 @@
+package health
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"pimds/internal/obs"
+)
+
+// histRecord builds a window history by driving a real registry and
+// window: rounds[i] mutates the registry, then the window rotates.
+func buildHistory(t *testing.T, size int, rounds []func(*obs.Registry)) *obs.History {
+	t.Helper()
+	reg := obs.NewRegistry()
+	w, err := obs.NewWindow(reg, []obs.Tier{{Name: "1s", Interval: time.Second, Size: size}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, fn := range rounds {
+		fn(reg)
+		w.Rotate()
+	}
+	return w.History()
+}
+
+func TestQuantileCeiling(t *testing.T) {
+	rule := QuantileCeiling{
+		RuleName: "p99", Metric: "lat", Quantile: 0.99,
+		Warn: 10 * time.Millisecond, Fail: 100 * time.Millisecond, MinCount: 10,
+	}
+
+	// Fast window: ok.
+	h := buildHistory(t, 4, []func(*obs.Registry){func(r *obs.Registry) {
+		for i := 0; i < 100; i++ {
+			r.Histogram("lat").Observe(int64(time.Millisecond))
+		}
+	}})
+	if res := rule.Eval(h); res.State != Ok {
+		t.Fatalf("fast window: %+v", res)
+	}
+
+	// Slow tail in the *latest* window only: degraded, even though the
+	// first window was fine (cumulative metrics would dilute this).
+	h = buildHistory(t, 4, []func(*obs.Registry){
+		func(r *obs.Registry) {
+			for i := 0; i < 100; i++ {
+				r.Histogram("lat").Observe(int64(time.Millisecond))
+			}
+		},
+		func(r *obs.Registry) {
+			for i := 0; i < 100; i++ {
+				r.Histogram("lat").Observe(int64(50 * time.Millisecond))
+			}
+		},
+	})
+	if res := rule.Eval(h); res.State != Degraded {
+		t.Fatalf("slow latest window: %+v", res)
+	}
+
+	// Catastrophic latest window: failing.
+	h = buildHistory(t, 4, []func(*obs.Registry){func(r *obs.Registry) {
+		for i := 0; i < 100; i++ {
+			r.Histogram("lat").Observe(int64(500 * time.Millisecond))
+		}
+	}})
+	if res := rule.Eval(h); res.State != Failing {
+		t.Fatalf("catastrophic window: %+v", res)
+	}
+
+	// Idle window: ok regardless of the single slow observation.
+	h = buildHistory(t, 4, []func(*obs.Registry){func(r *obs.Registry) {
+		r.Histogram("lat").Observe(int64(time.Second))
+	}})
+	if res := rule.Eval(h); res.State != Ok || !strings.Contains(res.Reason, "idle") {
+		t.Fatalf("idle window: %+v", res)
+	}
+
+	// No samples at all.
+	if res := rule.Eval(&obs.History{}); res.State != Ok {
+		t.Fatalf("empty history: %+v", res)
+	}
+}
+
+func TestGaugeGrowth(t *testing.T) {
+	rule := GaugeGrowth{
+		RuleName: "queue-growth", Metric: "server/shard/*/queue_depth",
+		Lookback: 4, Warn: 2, Fail: 8, MinValue: 8,
+	}
+	set := func(d0, d1 int64) func(*obs.Registry) {
+		return func(r *obs.Registry) {
+			r.Gauge("server/shard/000/queue_depth").Set(d0)
+			r.Gauge("server/shard/001/queue_depth").Set(d1)
+		}
+	}
+
+	// Monotone growth across shards, ×8 over the lookback: failing.
+	h := buildHistory(t, 8, []func(*obs.Registry){
+		set(2, 2), set(4, 4), set(8, 8), set(16, 16),
+	})
+	if res := rule.Eval(h); res.State != Failing {
+		t.Fatalf("monotone growth: %+v", res)
+	}
+
+	// Bouncing depth is backpressure working: ok.
+	h = buildHistory(t, 8, []func(*obs.Registry){
+		set(10, 10), set(2, 2), set(12, 12), set(4, 4),
+	})
+	if res := rule.Eval(h); res.State != Ok {
+		t.Fatalf("bouncing depth: %+v", res)
+	}
+
+	// Growing but tiny (below MinValue): ok.
+	h = buildHistory(t, 8, []func(*obs.Registry){
+		set(0, 0), set(1, 0), set(1, 1), set(2, 1),
+	})
+	if res := rule.Eval(h); res.State != Ok {
+		t.Fatalf("tiny depth: %+v", res)
+	}
+
+	// Not enough samples yet: warming up, ok.
+	h = buildHistory(t, 8, []func(*obs.Registry){set(1, 1), set(2, 2)})
+	if res := rule.Eval(h); res.State != Ok || !strings.Contains(res.Reason, "warming up") {
+		t.Fatalf("warmup: %+v", res)
+	}
+}
+
+func TestRatioFloorCombiningCollapse(t *testing.T) {
+	rule := RatioFloor{
+		RuleName: "combining", Metric: "server/shard/*/batch_size",
+		Warn: 1.5, Fail: 1.05, MinCount: 10,
+	}
+	observe := func(batch int64, n int) func(*obs.Registry) {
+		return func(r *obs.Registry) {
+			for i := 0; i < n; i++ {
+				r.Histogram("server/shard/000/batch_size").Observe(batch)
+			}
+		}
+	}
+
+	// Healthy combining factor ~8.
+	h := buildHistory(t, 4, []func(*obs.Registry){observe(8, 100)})
+	if res := rule.Eval(h); res.State != Ok {
+		t.Fatalf("factor 8: %+v", res)
+	}
+
+	// Collapse to one-op-per-pass in the latest window: failing.
+	h = buildHistory(t, 4, []func(*obs.Registry){observe(8, 100), observe(1, 100)})
+	if res := rule.Eval(h); res.State != Failing {
+		t.Fatalf("collapsed factor: %+v", res)
+	}
+
+	// Idle shard: ok.
+	h = buildHistory(t, 4, []func(*obs.Registry){observe(1, 2)})
+	if res := rule.Eval(h); res.State != Ok || !strings.Contains(res.Reason, "idle") {
+		t.Fatalf("idle: %+v", res)
+	}
+}
+
+func TestErrorRate(t *testing.T) {
+	rule := ErrorRate{
+		RuleName: "errors", Err: "server/ops/rejected", Total: "server/ops/total",
+		Warn: 0.01, Fail: 0.10, MinOps: 100,
+	}
+	round := func(errs, total uint64) func(*obs.Registry) {
+		return func(r *obs.Registry) {
+			r.Counter("server/ops/rejected").Add(errs)
+			r.Counter("server/ops/total").Add(total)
+		}
+	}
+
+	h := buildHistory(t, 4, []func(*obs.Registry){round(0, 1000)})
+	if res := rule.Eval(h); res.State != Ok {
+		t.Fatalf("clean window: %+v", res)
+	}
+
+	// 5% errors in the latest window: degraded. The first (clean)
+	// window no longer matters — that is the point of windowing.
+	h = buildHistory(t, 4, []func(*obs.Registry){round(0, 10000), round(50, 1000)})
+	if res := rule.Eval(h); res.State != Degraded {
+		t.Fatalf("5%% errors: %+v", res)
+	}
+
+	// 20% errors: failing.
+	h = buildHistory(t, 4, []func(*obs.Registry){round(200, 1000)})
+	if res := rule.Eval(h); res.State != Failing {
+		t.Fatalf("20%% errors: %+v", res)
+	}
+
+	// Idle: ok.
+	h = buildHistory(t, 4, []func(*obs.Registry){round(1, 2)})
+	if res := rule.Eval(h); res.State != Ok {
+		t.Fatalf("idle: %+v", res)
+	}
+}
+
+func TestSLOBurn(t *testing.T) {
+	rule := SLOBurn{
+		RuleName: "slo", Metric: "lat", Budget: 10 * time.Millisecond,
+		Warn: 1, Fail: 5, MinCount: 10,
+	}
+	mixed := func(fast, slow int) func(*obs.Registry) {
+		return func(r *obs.Registry) {
+			for i := 0; i < fast; i++ {
+				r.Histogram("lat").Observe(int64(time.Millisecond))
+			}
+			for i := 0; i < slow; i++ {
+				r.Histogram("lat").Observe(int64(100 * time.Millisecond))
+			}
+		}
+	}
+
+	// All fast: burn 0, ok.
+	h := buildHistory(t, 4, []func(*obs.Registry){mixed(100, 0)})
+	if res := rule.Eval(h); res.State != Ok || res.Value != 0 {
+		t.Fatalf("no burn: %+v", res)
+	}
+
+	// ~2% over budget: p99 over, p95 under → burn 1, degraded.
+	h = buildHistory(t, 4, []func(*obs.Registry){mixed(98, 2)})
+	if res := rule.Eval(h); res.State != Degraded || res.Value != 1 {
+		t.Fatalf("burn 1: %+v", res)
+	}
+
+	// ~10% over: p95 over → burn 5, failing.
+	h = buildHistory(t, 4, []func(*obs.Registry){mixed(90, 10)})
+	if res := rule.Eval(h); res.State != Failing || res.Value != 5 {
+		t.Fatalf("burn 5: %+v", res)
+	}
+
+	// Majority over: burn 50, failing.
+	h = buildHistory(t, 4, []func(*obs.Registry){mixed(10, 90)})
+	if res := rule.Eval(h); res.State != Failing || res.Value != 50 {
+		t.Fatalf("burn 50: %+v", res)
+	}
+}
+
+func TestEngineWorstStateWins(t *testing.T) {
+	h := buildHistory(t, 4, []func(*obs.Registry){func(r *obs.Registry) {
+		for i := 0; i < 1000; i++ {
+			r.Histogram("lat").Observe(int64(time.Millisecond))
+		}
+		r.Counter("errs").Add(500)
+		r.Counter("total").Add(1000)
+	}})
+	e := NewEngine(
+		QuantileCeiling{RuleName: "p99", Metric: "lat", Quantile: 0.99,
+			Warn: time.Second, Fail: 2 * time.Second, MinCount: 1},
+		ErrorRate{RuleName: "errors", Err: "errs", Total: "total",
+			Warn: 0.01, Fail: 0.10, MinOps: 1},
+	)
+	v := e.Evaluate(h)
+	if v.State != Failing {
+		t.Fatalf("verdict state = %v, want failing (worst rule wins): %+v", v.State, v)
+	}
+	if len(v.Rules) != 2 {
+		t.Fatalf("verdict carries %d rules, want 2", len(v.Rules))
+	}
+	if v.Rules[0].Rule != "p99" || v.Rules[0].State != Ok {
+		t.Errorf("rule 0: %+v", v.Rules[0])
+	}
+	if v.Rules[1].Rule != "errors" || v.Rules[1].State != Failing {
+		t.Errorf("rule 1: %+v", v.Rules[1])
+	}
+
+	// JSON form uses string states.
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(b), `"state":"failing"`) {
+		t.Fatalf("verdict JSON: %s", b)
+	}
+
+	// Nil engine and empty engine are ok.
+	var nilE *Engine
+	if v := nilE.Evaluate(h); v.State != Ok {
+		t.Errorf("nil engine: %+v", v)
+	}
+	if v := NewEngine().Evaluate(h); v.State != Ok || len(v.Rules) != 0 {
+		t.Errorf("empty engine: %+v", v)
+	}
+}
+
+func TestMatchMetric(t *testing.T) {
+	cases := []struct {
+		pattern, name string
+		want          bool
+	}{
+		{"a/b/c", "a/b/c", true},
+		{"a/b/c", "a/b/d", false},
+		{"server/shard/*/batch_size", "server/shard/007/batch_size", true},
+		{"server/shard/*/batch_size", "server/shard/007/queue_depth", false},
+		{"server/shard/*/batch_size", "server/shard/a/b/batch_size", false},
+		{"*", "anything", true},
+		{"*", "two/segments", false},
+	}
+	for _, c := range cases {
+		if got := matchMetric(c.pattern, c.name); got != c.want {
+			t.Errorf("matchMetric(%q, %q) = %v, want %v", c.pattern, c.name, got, c.want)
+		}
+	}
+}

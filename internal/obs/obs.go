@@ -260,11 +260,15 @@ func (h *Histogram) Merge(o *Histogram) {
 // from that single copy, so a snapshot taken while recorders are
 // observing can never report quantiles that disagree with its own
 // count (the per-method accessors each re-read shared state and can).
+// The copied buckets ride along in the snapshot (outside its JSON
+// form) so two snapshots of the same histogram can be subtracted into
+// an interval delta with exact per-bucket counts; see
+// HistogramSnapshot.Sub.
 func (h *Histogram) Snapshot() HistogramSnapshot {
 	if h == nil {
 		return HistogramSnapshot{}
 	}
-	var counts [64 * histSub]uint64
+	counts := make([]uint64, 64*histSub)
 	var total uint64
 	// Observe increments the bucket before the total, so a full bucket
 	// scan sees at least every observation a prior total read covers.
@@ -274,28 +278,37 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 		total += c
 	}
 	snap := HistogramSnapshot{
-		Count: total,
-		Max:   h.max.Load(),
-		Sum:   h.sum.Load(),
+		Count:   total,
+		Max:     h.max.Load(),
+		Sum:     h.sum.Load(),
+		Buckets: counts,
 	}
 	if total == 0 {
 		return snap
 	}
 	snap.Mean = float64(snap.Sum) / float64(total)
-	q := func(q float64) int64 {
-		rank := uint64(q * float64(total-1))
-		var seen uint64
-		for i, c := range counts {
-			if c == 0 {
-				continue
-			}
-			seen += c
-			if seen > rank {
-				return bucketLow(i)
-			}
-		}
+	snap.P50 = quantileFromBuckets(counts, total, 0.50)
+	snap.P95 = quantileFromBuckets(counts, total, 0.95)
+	snap.P99 = quantileFromBuckets(counts, total, 0.99)
+	return snap
+}
+
+// quantileFromBuckets returns the lower bound of the sub-bucket holding
+// the q-quantile observation of a copied bucket array (0 when empty).
+func quantileFromBuckets(counts []uint64, total uint64, q float64) int64 {
+	if total == 0 {
 		return 0
 	}
-	snap.P50, snap.P95, snap.P99 = q(0.50), q(0.95), q(0.99)
-	return snap
+	rank := uint64(q * float64(total-1))
+	var seen uint64
+	for i, c := range counts {
+		if c == 0 {
+			continue
+		}
+		seen += c
+		if seen > rank {
+			return bucketLow(i)
+		}
+	}
+	return 0
 }

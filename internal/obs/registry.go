@@ -108,6 +108,13 @@ func (r *Registry) AddCollector(fn func(*Registry)) {
 }
 
 // HistogramSnapshot is the exported summary of one histogram.
+//
+// Buckets, when present, holds the cumulative per-bucket counts the
+// summary fields were derived from. It is carried outside the JSON
+// document (the snapshot wire format is unchanged) purely so snapshots
+// can be subtracted: Sub recomputes exact delta quantiles from the
+// bucket difference. Call Compact to drop it once no further
+// subtraction is needed (e.g. before retaining samples in a ring).
 type HistogramSnapshot struct {
 	Count uint64  `json:"count"`
 	Mean  float64 `json:"mean"`
@@ -116,6 +123,77 @@ type HistogramSnapshot struct {
 	P50   int64   `json:"p50"`
 	P95   int64   `json:"p95"`
 	P99   int64   `json:"p99"`
+
+	Buckets []uint64 `json:"-"`
+}
+
+// Sub returns the delta histogram between two cumulative snapshots of
+// the same histogram: the observations recorded after prev was taken
+// and up to s. Counts, sums and quantiles are exact (recomputed from
+// the per-bucket difference); Max is exact when the interval raised the
+// running maximum and otherwise falls back to the bucket lower bound of
+// the largest delta observation — the same granularity the quantiles
+// already have. Subtracting a snapshot from itself yields the zero
+// snapshot, and an empty delta has defined (zero) quantiles and mean.
+// Snapshots taken without bucket counts subtract on the summary fields
+// only, with quantiles zeroed (they cannot be recomputed).
+func (s HistogramSnapshot) Sub(prev HistogramSnapshot) HistogramSnapshot {
+	d := HistogramSnapshot{}
+	if s.Count >= prev.Count {
+		d.Count = s.Count - prev.Count
+	}
+	if d.Count == 0 {
+		return d
+	}
+	if s.Sum >= prev.Sum {
+		d.Sum = s.Sum - prev.Sum
+	}
+	d.Mean = float64(d.Sum) / float64(d.Count)
+	if len(s.Buckets) == 0 {
+		// No buckets to diff (hand-built or foreign snapshot): summary
+		// deltas only.
+		return d
+	}
+	pb := prev.Buckets
+	if len(pb) != len(s.Buckets) {
+		if len(pb) == 0 && prev.Count == 0 {
+			// prev predates the metric (e.g. the zero snapshot a window's
+			// first interval subtracts): an empty baseline is all-zero
+			// buckets.
+			pb = nil
+		} else {
+			return d
+		}
+	}
+	counts := make([]uint64, len(s.Buckets))
+	top := -1
+	for i := range counts {
+		var p uint64
+		if pb != nil {
+			p = pb[i]
+		}
+		if c := s.Buckets[i]; c > p {
+			counts[i] = c - p
+			top = i
+		}
+	}
+	d.Buckets = counts
+	d.P50 = quantileFromBuckets(counts, d.Count, 0.50)
+	d.P95 = quantileFromBuckets(counts, d.Count, 0.95)
+	d.P99 = quantileFromBuckets(counts, d.Count, 0.99)
+	if s.Max > prev.Max {
+		d.Max = s.Max // the interval set a new running maximum: exact
+	} else if top >= 0 {
+		d.Max = bucketLow(top)
+	}
+	return d
+}
+
+// Compact returns the snapshot without its bucket array, for retention
+// in rings and documents where only the summary matters.
+func (s HistogramSnapshot) Compact() HistogramSnapshot {
+	s.Buckets = nil
+	return s
 }
 
 // Snapshot is a point-in-time copy of every metric. encoding/json

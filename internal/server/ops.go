@@ -6,20 +6,25 @@ import (
 	"net/http/pprof"
 	"strings"
 
+	"pimds/internal/buildinfo"
 	"pimds/internal/obs"
 )
 
 // OpsHandler is the server's live introspection surface, mounted by
 // cmd/pimserve on the -ops-addr listener:
 //
-//	/metrics       Prometheus text exposition of the registry
-//	/metrics.json  the JSON snapshot (same document as -metrics)
-//	/slow          slow-request log as JSON (see Config.SlowThreshold)
-//	/trace         finished spans as Chrome trace-event JSON
-//	/debug/pprof/  the standard Go profiler endpoints
+//	/metrics          Prometheus text exposition of the registry
+//	/metrics.json     the JSON snapshot (same document as -metrics)
+//	/metrics/history  windowed per-interval deltas (see Config.WindowTick)
+//	/healthz          rule-driven health verdict; 503 when not ready
+//	/buildinfo        version, git revision and toolchain of this binary
+//	/slow             slow-request log as JSON (see Config.SlowThreshold)
+//	/trace            finished spans as Chrome trace-event JSON
+//	/debug/pprof/     the standard Go profiler endpoints
 //
-// Every endpoint reads a consistent snapshot; scraping during a
-// graceful drain is safe and race-free.
+// Every endpoint sets an explicit Content-Type and reads a consistent
+// snapshot; scraping during a graceful drain is safe and race-free
+// (/healthz flips to "draining" with 503 for the drain's duration).
 func (s *Server) OpsHandler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
@@ -29,6 +34,28 @@ func (s *Server) OpsHandler() http.Handler {
 		}
 	})
 	mux.Handle("/metrics.json", MetricsHandler(s.cfg.Reg))
+	mux.HandleFunc("/metrics/history", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if err := s.win.WriteJSON(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		h := s.Health()
+		if !h.Ready {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(h)
+	})
+	mux.HandleFunc("/buildinfo", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if err := buildinfo.WriteJSON(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
 	mux.HandleFunc("/slow", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		json.NewEncoder(w).Encode(struct {

@@ -31,6 +31,7 @@ import (
 	"time"
 
 	"pimds/internal/obs"
+	"pimds/internal/obs/health"
 	"pimds/internal/wire"
 )
 
@@ -101,6 +102,22 @@ type Config struct {
 
 	// Reg receives server metrics (nil disables instrumentation).
 	Reg *obs.Registry
+
+	// WindowTick enables windowed metrics and the health engine: a
+	// dedicated ticker goroutine rotates Reg's state into tiered delta
+	// rings (obs.DefaultTiers(WindowTick) unless WindowTiers overrides)
+	// every WindowTick and re-evaluates the health rules on each
+	// rotation. Zero disables the window: /metrics/history serves an
+	// empty history and /healthz reports only drain state.
+	WindowTick time.Duration
+
+	// WindowTiers overrides the window's retention tiers. Nil selects
+	// obs.DefaultTiers(WindowTick).
+	WindowTiers []obs.Tier
+
+	// HealthRules overrides the rule set evaluated on every rotation.
+	// Nil selects DefaultHealthRules(0).
+	HealthRules []health.Rule
 
 	// Log, when non-nil, records every applied operation for
 	// linearizability checking (testing/auditing only).
@@ -204,6 +221,14 @@ type Server struct {
 	shutdown  sync.Once
 	connSeq   atomic.Int64
 
+	// windowed metrics + health (nil/idle when Config.WindowTick is 0)
+	win        *obs.Window
+	eng        *health.Engine
+	healthMu   sync.Mutex
+	verdict    health.Verdict
+	windowStop chan struct{}
+	windowDone chan struct{}
+
 	// metrics (nil-safe through obs)
 	connsOpen  *obs.Gauge
 	connsTotal *obs.Counter
@@ -278,6 +303,25 @@ func New(cfg Config) (*Server, error) {
 		s.shardWG.Add(1)
 		go s.combineLoop(sh)
 	}
+	if cfg.WindowTick > 0 {
+		tiers := cfg.WindowTiers
+		if tiers == nil {
+			tiers = obs.DefaultTiers(cfg.WindowTick)
+		}
+		win, err := obs.NewWindow(cfg.Reg, tiers)
+		if err != nil {
+			return nil, err
+		}
+		rules := cfg.HealthRules
+		if rules == nil {
+			rules = DefaultHealthRules(0)
+		}
+		s.win = win
+		s.eng = health.NewEngine(rules...)
+		s.windowStop = make(chan struct{})
+		s.windowDone = make(chan struct{})
+		go s.rotateLoop(cfg.WindowTick)
+	}
 	return s, nil
 }
 
@@ -296,7 +340,16 @@ func (s *Server) shardFor(key int64) *shard {
 func (s *Server) Serve(ln net.Listener) error {
 	s.mu.Lock()
 	s.ln = ln
+	draining := s.draining.Load()
 	s.mu.Unlock()
+	if draining {
+		// Shutdown ran before Serve stored the listener and so could not
+		// close it; close it here or Accept would block forever on a
+		// drained server.
+		ln.Close()
+		<-s.drainDone
+		return nil
+	}
 	for {
 		nc, err := ln.Accept()
 		if err != nil {
@@ -678,6 +731,13 @@ func (s *Server) Shutdown() {
 		// Every inflight op is delivered, so each conn's teardown
 		// closes its out queue and its writer flushes and exits.
 		s.writers.Wait()
+		// Stop window rotation last: /healthz and /metrics/history stay
+		// scrape-safe for the whole drain (reporting "draining"), and no
+		// rotation can race the registry once drainDone closes.
+		if s.windowStop != nil {
+			close(s.windowStop)
+			<-s.windowDone
+		}
 		close(s.drainDone)
 	})
 }

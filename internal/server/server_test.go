@@ -204,6 +204,11 @@ func TestManyClientsRace(t *testing.T) {
 	srv, addr := startServer(t, server.Config{
 		Structure: server.StructSkip, Shards: 4, KeySpace: keySpace,
 		Reg: reg, Log: log,
+		// A live window rotating throughout the run: rotation snapshots
+		// the registry while combiners hammer it, so -race covers the
+		// scrape/record overlap, and the alloc pins prove the hot path
+		// stays allocation-free with windowing on.
+		WindowTick: 100 * time.Millisecond,
 	})
 
 	var wg sync.WaitGroup
@@ -410,6 +415,13 @@ func TestGracefulDrainLosesNoAckedOps(t *testing.T) {
 	}
 	go srv.Shutdown()
 	time.Sleep(10 * time.Millisecond)
+	// Mid-drain, /healthz must already report draining and not-ready —
+	// the load balancer's cue to stop routing here.
+	rec := httptest.NewRecorder()
+	srv.OpsHandler().ServeHTTP(rec, httptest.NewRequest("GET", "/healthz", nil))
+	if rec.Code != 503 || !strings.Contains(rec.Body.String(), `"status": "draining"`) {
+		t.Errorf("mid-drain healthz: code %d body %s", rec.Code, rec.Body.String())
+	}
 	close(stopSend)
 	wg.Wait()
 
