@@ -21,24 +21,29 @@ import (
 	"io"
 	"net/http"
 	"os"
+	"strings"
 	"time"
 
 	"pimds/internal/buildinfo"
 	"pimds/internal/harness"
 	"pimds/internal/loadgen"
+	"pimds/internal/server"
+	"pimds/internal/wire"
 )
 
 func main() {
 	var (
 		addr      = flag.String("addr", "127.0.0.1:7070", "pimserve TCP address")
-		structure = flag.String("structure", "set", "op family: set|queue|stack (must match the server's structure)")
+		structure = flag.String("structure", "set", "op family (set|queue|stack) or the server's exact structure (list|skip|hash|queue|stack) for mix validation")
 		conns     = flag.Int("conns", 64, "concurrent connections")
 		pipeline  = flag.Int("pipeline", 16, "ops outstanding per connection")
 		rate      = flag.Float64("rate", 0, "open-loop target ops/s across all conns (0 = closed loop)")
 		duration  = flag.Duration("duration", 5*time.Second, "injection duration")
 		keys      = flag.Int64("keys", 1<<16, "key space (must be within the server's -keyspace)")
 		dist      = flag.String("dist", "uniform", "key distribution: uniform | zipf[:S] | hot[:H/F]")
-		mixSpec   = flag.String("mix", "0/50/50", "set mix contains/add/remove in percent")
+		mixSpec   = flag.String("mix", "0/50/50", "set mix C/A/R in percent, plus ordered terms, e.g. 60/15/15,scan:8,popmin:2")
+		scanSpan  = flag.Int64("scan-span", 0, "key width of generated range scans (0 = 1/64 of the key space)")
+		scanLimit = flag.Int("scan-limit", 0, "per-scan result cap sent on the wire (0 = server max)")
 		seed      = flag.Int64("seed", 1, "key-stream seed")
 		preload   = flag.Bool("preload", false, "fill the set to half occupancy before measuring")
 		jsonPath  = flag.String("json", "", "write the benchfmt report here ('-' = stdout)")
@@ -59,19 +64,20 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	var mix harness.Mix
-	if _, err := fmt.Sscanf(*mixSpec, "%d/%d/%d", &mix.ContainsPct, &mix.AddPct, &mix.RemovePct); err != nil {
-		fmt.Fprintf(os.Stderr, "pimload: bad -mix %q (want C/A/R, e.g. 90/5/5)\n", *mixSpec)
+	mix, err := harness.ParseMix(*mixSpec)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pimload: bad -mix %q: %v (want C/A/R plus optional ordered terms, e.g. 60/15/15,scan:8,popmin:2)\n", *mixSpec, err)
 		os.Exit(2)
 	}
-	if err := mix.Validate(); err != nil {
+	family, err := resolveStructure(*structure, mix)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
 
 	cfg := loadgen.Config{
 		Addr:        *addr,
-		Structure:   *structure,
+		Structure:   family,
 		Conns:       *conns,
 		Pipeline:    *pipeline,
 		Rate:        *rate,
@@ -79,6 +85,8 @@ func main() {
 		Dist:        kd,
 		Mix:         mix,
 		Seed:        *seed,
+		ScanSpan:    *scanSpan,
+		ScanLimit:   *scanLimit,
 		TraceSample: *traceSamp,
 		SLOP99:      *sloP99,
 	}
@@ -124,6 +132,47 @@ func main() {
 
 	if slo, ok := res.SLO(); ok && !slo.Met && *sloStrict {
 		os.Exit(3)
+	}
+}
+
+// resolveStructure maps -structure to the loadgen op family. The
+// generic family names (set|queue|stack) pass through unvalidated; an
+// exact server structure name is checked against its capability table
+// so a mix the server would reject fails here with a useful message
+// instead of as a stream of StatusBadKind responses.
+func resolveStructure(structure string, mix harness.Mix) (string, error) {
+	if structure == loadgen.StructSet {
+		// "set" is the generic family — the exact structure (and so the
+		// capability row) is unknown, the server does the gating.
+		return structure, nil
+	}
+	caps, ok := server.LookupCapability(structure)
+	if !ok {
+		return "", fmt.Errorf("pimload: unknown -structure %q (want set|queue|stack or %s)",
+			structure, strings.Join(server.Structures(), "|"))
+	}
+	for _, t := range []struct {
+		pct  int
+		kind wire.OpKind
+	}{
+		{mix.ScanPct, wire.RangeScan},
+		{mix.PredPct, wire.Pred},
+		{mix.SuccPct, wire.Succ},
+		{mix.PopMinPct, wire.PopMin},
+		{mix.PopMaxPct, wire.PopMax},
+	} {
+		if t.pct > 0 && !caps.Supports(t.kind) {
+			return "", fmt.Errorf("pimload: structure %q does not serve %s (supported ops: %s)",
+				structure, t.kind, caps.KindNames())
+		}
+	}
+	switch structure {
+	case server.StructQueue:
+		return loadgen.StructQueue, nil
+	case server.StructStack:
+		return loadgen.StructStack, nil
+	default:
+		return loadgen.StructSet, nil
 	}
 }
 

@@ -8,11 +8,24 @@ package seqlist
 // OpKind is the kind of a set operation.
 type OpKind uint8
 
-// The three set operations of Section 4.
+// The three set operations of Section 4, plus the ordered operations
+// the sorted list serves natively: range scans, neighbor queries and
+// extremum pops.
 const (
 	Contains OpKind = iota
 	Add
 	Remove
+
+	// RangeScan collects up to Limit keys in [Key, Hi), ascending.
+	RangeScan
+	// Pred finds the largest key strictly less than Key.
+	Pred
+	// Succ finds the smallest key strictly greater than Key.
+	Succ
+	// PopMin removes and returns the smallest key.
+	PopMin
+	// PopMax removes and returns the largest key.
+	PopMax
 )
 
 // String returns the operation name.
@@ -24,15 +37,42 @@ func (k OpKind) String() string {
 		return "add"
 	case Remove:
 		return "remove"
+	case RangeScan:
+		return "scan"
+	case Pred:
+		return "pred"
+	case Succ:
+		return "succ"
+	case PopMin:
+		return "popmin"
+	case PopMax:
+		return "popmax"
 	default:
 		return "unknown"
 	}
 }
 
-// Op is one set operation request.
+// Op is one set operation request. Hi and Limit are RangeScan's
+// exclusive upper bound and result cap (Limit ≤ 0 = unlimited); other
+// kinds ignore them.
 type Op struct {
-	Kind OpKind
-	Key  int64
+	Kind  OpKind
+	Key   int64
+	Hi    int64
+	Limit int
+}
+
+// OpResult is one outcome of an ordered batch. For RangeScan, Scan is
+// true and [Start, Start+N) is the op's segment of the shared values
+// arena; Value is the pagination cursor (the scan is complete when
+// cursor ≥ Hi). For Pred/Succ/PopMin/PopMax, OK reports whether a key
+// existed and Value carries it.
+type OpResult struct {
+	OK    bool
+	Value int64
+	Start int
+	N     int
+	Scan  bool
 }
 
 type node struct {
@@ -217,6 +257,152 @@ func (l *List) ApplyBatchInto(ops []Op, results []bool) {
 			}
 		}
 	}
+}
+
+// PopMinKey removes and returns the smallest key (ok=false on empty).
+func (l *List) PopMinKey() (int64, bool) {
+	n := l.head.next
+	if n == nil {
+		return 0, false
+	}
+	l.steps++
+	l.head.next = n.next
+	k := n.key
+	l.freeNode(n)
+	l.size--
+	return k, true
+}
+
+// PopMaxKey removes and returns the largest key (ok=false on empty).
+func (l *List) PopMaxKey() (int64, bool) {
+	if l.head.next == nil {
+		return 0, false
+	}
+	pred := l.head
+	l.steps++
+	for pred.next.next != nil {
+		pred = pred.next
+		l.steps++
+	}
+	gone := pred.next
+	pred.next = nil
+	k := gone.key
+	l.freeNode(gone)
+	l.size--
+	return k, true
+}
+
+// ApplyOrderedBatchInto executes a batch that may mix point ops with
+// the ordered kinds, in one shared traversal, appending scan keys to
+// arena and returning the (possibly grown) arena. len(res) must equal
+// len(ops). The serialization it answers for is: all PopMin/PopMax in
+// batch order first, then the remaining ops in ascending key order
+// (ties in batch order) — legal for a concurrent batch, where any
+// serialization is linearizable. The keyed ops share one finger walk
+// exactly like ApplyBatchInto: a scan's descent to lo rides the
+// finger, and only its own span walk is private.
+//
+// A scan with Hi ≤ Key is a legal empty scan (complete, cursor = Hi).
+// When a scan hits its limit, the cursor is the first unreturned key,
+// so paginating clients resume exactly there.
+//
+//pimvet:allocfree //pimvet:nonblocking
+func (l *List) ApplyOrderedBatchInto(ops []Op, res []OpResult, arena []int64) []int64 {
+	if len(ops) == 0 {
+		return arena
+	}
+	// Extremum pops go first: they touch the ends of the list, not a
+	// key position, so serving them before the sweep keeps the finger
+	// invariant (monotone key order) intact.
+	keyed := 0
+	for i := range ops {
+		switch ops[i].Kind {
+		case PopMin:
+			v, ok := l.PopMinKey()
+			res[i] = OpResult{OK: ok, Value: v}
+		case PopMax:
+			v, ok := l.PopMaxKey()
+			res[i] = OpResult{OK: ok, Value: v}
+		default:
+			keyed++
+		}
+	}
+	if keyed == 0 {
+		return arena
+	}
+	if cap(l.idx) < len(ops) {
+		l.idx = make([]int, len(ops)) //pimvet:allow allocfree: amortized grow to the largest batch; steady state reuses
+		l.tmp = make([]int, len(ops)) //pimvet:allow allocfree: amortized grow to the largest batch; steady state reuses
+	}
+	idx := l.idx[:keyed]
+	j := 0
+	for i := range ops {
+		if ops[i].Kind != PopMin && ops[i].Kind != PopMax {
+			idx[j] = i
+			j++
+		}
+	}
+	stableSortByKey(ops, idx, l.tmp[:keyed])
+
+	pred := l.head
+	for _, i := range idx {
+		op := ops[i]
+		pred = l.find(pred, op.Key)
+		switch op.Kind {
+		case Contains:
+			res[i] = OpResult{OK: pred.next != nil && pred.next.key == op.Key}
+		case Add:
+			if pred.next != nil && pred.next.key == op.Key {
+				res[i] = OpResult{OK: false}
+			} else {
+				pred.next = l.newNode(op.Key, pred.next)
+				l.size++
+				res[i] = OpResult{OK: true}
+			}
+		case Remove:
+			if pred.next != nil && pred.next.key == op.Key {
+				gone := pred.next
+				pred.next = gone.next
+				l.freeNode(gone)
+				l.size--
+				res[i] = OpResult{OK: true}
+			} else {
+				res[i] = OpResult{OK: false}
+			}
+		case Pred:
+			if pred != l.head {
+				res[i] = OpResult{OK: true, Value: pred.key}
+			} else {
+				res[i] = OpResult{OK: false}
+			}
+		case Succ:
+			n := pred.next
+			if n != nil && n.key == op.Key {
+				n = n.next
+				l.steps++
+			}
+			if n != nil {
+				res[i] = OpResult{OK: true, Value: n.key}
+			} else {
+				res[i] = OpResult{OK: false}
+			}
+		case RangeScan:
+			start := len(arena)
+			cursor := op.Hi
+			count := 0
+			for cur := pred.next; cur != nil && cur.key < op.Hi; cur = cur.next {
+				if op.Limit > 0 && count == op.Limit {
+					cursor = cur.key
+					break
+				}
+				arena = append(arena, cur.key) //pimvet:allow allocfree: amortized arena grow to the largest scan pass; steady state reuses
+				count++
+				l.steps++
+			}
+			res[i] = OpResult{OK: true, Value: cursor, Start: start, N: count, Scan: true}
+		}
+	}
+	return arena
 }
 
 // stableSortByKey sorts idx so that ops[idx[i]].Key ascends, preserving

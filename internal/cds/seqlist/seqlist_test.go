@@ -168,8 +168,8 @@ func TestBatchSingleTraversal(t *testing.T) {
 	}
 	l.ResetSteps()
 	ops := []Op{
-		{Contains, 900}, {Contains, 100}, {Contains, 500},
-		{Contains, 901}, {Contains, 101}, {Contains, 501},
+		{Kind: Contains, Key: 900}, {Kind: Contains, Key: 100}, {Kind: Contains, Key: 500},
+		{Kind: Contains, Key: 901}, {Kind: Contains, Key: 101}, {Kind: Contains, Key: 501},
 	}
 	l.ApplyBatch(ops)
 	batchSteps := l.Steps()
@@ -192,7 +192,7 @@ func TestBatchSingleTraversal(t *testing.T) {
 // TestBatchSameKeyOrder: same-key ops keep their batch order.
 func TestBatchSameKeyOrder(t *testing.T) {
 	l := New()
-	res := l.ApplyBatch([]Op{{Add, 7}, {Remove, 7}, {Add, 7}, {Contains, 7}})
+	res := l.ApplyBatch([]Op{{Kind: Add, Key: 7}, {Kind: Remove, Key: 7}, {Kind: Add, Key: 7}, {Kind: Contains, Key: 7}})
 	want := []bool{true, true, true, true}
 	for i := range want {
 		if res[i] != want[i] {

@@ -1,0 +1,222 @@
+package seqskip
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func fillSkip(t *testing.T, keys ...int64) *List {
+	t.Helper()
+	l := New(1)
+	for _, k := range keys {
+		if !l.AddKey(k) {
+			t.Fatalf("duplicate key %d in fixture", k)
+		}
+	}
+	return l
+}
+
+func TestSkipRangeScanEdgeCases(t *testing.T) {
+	l := fillSkip(t, 10, 20, 30, 40, 50)
+
+	arena, n, cursor := l.RangeScanInto(15, 45, 0, nil)
+	if want := []int64{20, 30, 40}; !keysEq(arena, want) || n != 3 || cursor != 45 {
+		t.Errorf("scan [15,45): keys %v n %d cursor %d", arena, n, cursor)
+	}
+
+	// Half-open bounds.
+	arena, _, _ = l.RangeScanInto(20, 40, 0, nil)
+	if want := []int64{20, 30}; !keysEq(arena, want) {
+		t.Errorf("scan [20,40): got %v, want %v", arena, want)
+	}
+
+	// Empty and inverted intervals are legal, complete scans.
+	if arena, n, cursor := l.RangeScanInto(30, 30, 0, nil); len(arena) != 0 || n != 0 || cursor != 30 {
+		t.Errorf("empty scan: %v %d %d", arena, n, cursor)
+	}
+	if arena, n, cursor := l.RangeScanInto(50, 10, 0, nil); len(arena) != 0 || n != 0 || cursor != 10 {
+		t.Errorf("inverted scan: %v %d %d", arena, n, cursor)
+	}
+
+	// Limit truncation and cursor resumption cover the range exactly.
+	arena, n, cursor = l.RangeScanInto(0, 100, 2, nil)
+	if want := []int64{10, 20}; !keysEq(arena, want) || n != 2 || cursor != 30 {
+		t.Errorf("limited scan: keys %v n %d cursor %d", arena, n, cursor)
+	}
+	arena, n, cursor = l.RangeScanInto(cursor, 100, 0, arena[:0])
+	if want := []int64{30, 40, 50}; !keysEq(arena, want) || cursor != 100 {
+		t.Errorf("resumed scan: keys %v n %d cursor %d", arena, n, cursor)
+	}
+
+	// Scanning an empty list.
+	if arena, n, cursor := New(2).RangeScanInto(0, 100, 0, nil); len(arena) != 0 || n != 0 || cursor != 100 {
+		t.Errorf("scan of empty list: %v %d %d", arena, n, cursor)
+	}
+}
+
+func TestSkipPredSuccMaxEdgeCases(t *testing.T) {
+	l := fillSkip(t, 10, 20, 30)
+	if v, ok := l.PredKey(25); !ok || v != 20 {
+		t.Errorf("Pred(25): %d,%v", v, ok)
+	}
+	if v, ok := l.PredKey(20); !ok || v != 10 {
+		t.Errorf("Pred(20): %d,%v", v, ok)
+	}
+	if _, ok := l.PredKey(10); ok {
+		t.Error("Pred(10) should not exist")
+	}
+	if v, ok := l.SuccKey(15); !ok || v != 20 {
+		t.Errorf("Succ(15): %d,%v", v, ok)
+	}
+	if v, ok := l.SuccKey(20); !ok || v != 30 {
+		t.Errorf("Succ(20): %d,%v", v, ok)
+	}
+	if _, ok := l.SuccKey(30); ok {
+		t.Error("Succ(30) should not exist")
+	}
+	if v, ok := l.Max(); !ok || v != 30 {
+		t.Errorf("Max: %d,%v", v, ok)
+	}
+	if _, ok := New(3).Max(); ok {
+		t.Error("Max of empty list reported ok")
+	}
+}
+
+func TestSkipPopMinPopMaxEdgeCases(t *testing.T) {
+	l := fillSkip(t, 7, 3, 9)
+	if v, ok := l.PopMinKey(); !ok || v != 3 {
+		t.Fatalf("PopMin: %d,%v", v, ok)
+	}
+	if v, ok := l.PopMaxKey(); !ok || v != 9 {
+		t.Fatalf("PopMax: %d,%v", v, ok)
+	}
+	if v, ok := l.PopMinKey(); !ok || v != 7 {
+		t.Fatalf("PopMin: %d,%v", v, ok)
+	}
+	if _, ok := l.PopMinKey(); ok {
+		t.Error("PopMin on empty list reported ok")
+	}
+	if _, ok := l.PopMaxKey(); ok {
+		t.Error("PopMax on empty list reported ok")
+	}
+	if l.Len() != 0 {
+		t.Errorf("len after draining: %d", l.Len())
+	}
+	// The height collapses as towers drain, keeping descents cheap.
+	if l.height != 1 {
+		t.Errorf("height after draining: %d", l.height)
+	}
+}
+
+// TestSkipOrderedAgainstReference drives random ordered ops against a
+// sorted-slice reference model.
+func TestSkipOrderedAgainstReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	l := New(11)
+	model := map[int64]bool{}
+	for i := 0; i < 3000; i++ {
+		k := int64(rng.Intn(512))
+		switch rng.Intn(8) {
+		case 0, 1:
+			if l.AddKey(k) != !model[k] {
+				t.Fatalf("Add(%d) disagrees with model", k)
+			}
+			model[k] = true
+		case 2:
+			if l.RemoveKey(k) != model[k] {
+				t.Fatalf("Remove(%d) disagrees with model", k)
+			}
+			delete(model, k)
+		case 3:
+			want, wantOK := modelPred(model, k)
+			if v, ok := l.PredKey(k); ok != wantOK || (ok && v != want) {
+				t.Fatalf("Pred(%d): got %d,%v want %d,%v", k, v, ok, want, wantOK)
+			}
+		case 4:
+			want, wantOK := modelSucc(model, k)
+			if v, ok := l.SuccKey(k); ok != wantOK || (ok && v != want) {
+				t.Fatalf("Succ(%d): got %d,%v want %d,%v", k, v, ok, want, wantOK)
+			}
+		case 5:
+			hi := k + int64(rng.Intn(64))
+			limit := rng.Intn(5)
+			arena, _, cursor := l.RangeScanInto(k, hi, limit, nil)
+			checkScan(t, model, k, hi, limit, arena, cursor)
+		case 6:
+			want, wantOK := modelSucc(model, -1<<62)
+			if v, ok := l.PopMinKey(); ok != wantOK || (ok && v != want) {
+				t.Fatalf("PopMin: got %d,%v want %d,%v", v, ok, want, wantOK)
+			}
+			delete(model, want)
+		case 7:
+			want, wantOK := modelPred(model, 1<<62)
+			if v, ok := l.PopMaxKey(); ok != wantOK || (ok && v != want) {
+				t.Fatalf("PopMax: got %d,%v want %d,%v", v, ok, want, wantOK)
+			}
+			delete(model, want)
+		}
+		if l.Len() != len(model) {
+			t.Fatalf("size %d, model %d", l.Len(), len(model))
+		}
+	}
+}
+
+func modelPred(m map[int64]bool, k int64) (int64, bool) {
+	best, ok := int64(0), false
+	for key := range m {
+		if key < k && (!ok || key > best) {
+			best, ok = key, true
+		}
+	}
+	return best, ok
+}
+
+func modelSucc(m map[int64]bool, k int64) (int64, bool) {
+	best, ok := int64(0), false
+	for key := range m {
+		if key > k && (!ok || key < best) {
+			best, ok = key, true
+		}
+	}
+	return best, ok
+}
+
+func checkScan(t *testing.T, m map[int64]bool, lo, hi int64, limit int, got []int64, cursor int64) {
+	t.Helper()
+	want := make([]int64, 0, len(m))
+	for key := range m {
+		if key >= lo && key < hi {
+			want = append(want, key)
+		}
+	}
+	sortInt64s(want)
+	wantCursor := hi
+	if limit > 0 && len(want) > limit {
+		wantCursor = want[limit]
+		want = want[:limit]
+	}
+	if !keysEq(got, want) || cursor != wantCursor {
+		t.Fatalf("scan [%d,%d) limit %d: got %v cursor %d, want %v cursor %d",
+			lo, hi, limit, got, cursor, want, wantCursor)
+	}
+}
+
+func sortInt64s(s []int64) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+func keysEq(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -185,6 +185,109 @@ func (l *List) Min() (int64, bool) {
 	return 0, false
 }
 
+// Max returns the largest key and whether the list is non-empty. The
+// walk rides the top levels right, so it costs O(log n) expected steps
+// rather than a bottom-level traversal.
+func (l *List) Max() (int64, bool) {
+	x := l.head
+	for lvl := l.height - 1; lvl >= 0; lvl-- {
+		for x.next[lvl] != nil {
+			x = x.next[lvl]
+			l.steps++
+		}
+	}
+	if x == l.head {
+		return 0, false
+	}
+	return x.key, true
+}
+
+// PredKey returns the largest key strictly less than k and whether one
+// exists.
+func (l *List) PredKey(k int64) (int64, bool) {
+	var preds [MaxHeight]*node
+	l.findPreds(k, &preds)
+	if p := preds[0]; p != l.head {
+		return p.key, true
+	}
+	return 0, false
+}
+
+// SuccKey returns the smallest key strictly greater than k and whether
+// one exists.
+func (l *List) SuccKey(k int64) (int64, bool) {
+	var preds [MaxHeight]*node
+	var n *node
+	if c := l.findPreds(k, &preds); c != nil {
+		n = c.next[0]
+		l.steps++
+	} else {
+		n = preds[0].next[0]
+	}
+	if n != nil {
+		return n.key, true
+	}
+	return 0, false
+}
+
+// PopMinKey removes and returns the smallest key (ok=false on empty).
+// The minimum's predecessor at every level is the head sentinel, so
+// the unlink needs no descent.
+func (l *List) PopMinKey() (int64, bool) {
+	n := l.head.next[0]
+	if n == nil {
+		return 0, false
+	}
+	l.steps++
+	for i := 0; i < len(n.next); i++ {
+		if l.head.next[i] == n {
+			l.head.next[i] = n.next[i]
+		}
+	}
+	for l.height > 1 && l.head.next[l.height-1] == nil {
+		l.height--
+	}
+	l.size--
+	return n.key, true
+}
+
+// PopMaxKey removes and returns the largest key (ok=false on empty).
+func (l *List) PopMaxKey() (int64, bool) {
+	k, ok := l.Max()
+	if !ok {
+		return 0, false
+	}
+	l.RemoveKey(k)
+	return k, true
+}
+
+// RangeScanInto appends to arena up to limit keys in the half-open
+// interval [lo, hi) in ascending order (limit ≤ 0 = unlimited) and
+// returns the grown arena, the number of keys appended, and the
+// pagination cursor: hi when the interval was exhausted, else the
+// first unreturned key. lo ≥ hi is a legal empty scan. One descent
+// reaches lo (the β of the analytical model); the span walk then rides
+// the bottom level, each visited node charged one step.
+func (l *List) RangeScanInto(lo, hi int64, limit int, arena []int64) ([]int64, int, int64) {
+	cursor := hi
+	if lo >= hi {
+		return arena, 0, cursor
+	}
+	var preds [MaxHeight]*node
+	l.findPreds(lo, &preds)
+	count := 0
+	for n := preds[0].next[0]; n != nil && n.key < hi; n = n.next[0] {
+		if limit > 0 && count == limit {
+			cursor = n.key
+			break
+		}
+		arena = append(arena, n.key)
+		count++
+		l.steps++
+	}
+	return arena, count, cursor
+}
+
 // ApplyBatch executes a batch of operations in ascending key order
 // using a finger search: each lookup resumes from the previous
 // operation's predecessor frontier instead of the head. This is the

@@ -41,6 +41,10 @@ func KindName(kind int) string {
 		return "SizeReq"
 	case MsgSizeResp:
 		return "SizeResp"
+	case MsgRange:
+		return "Range"
+	case MsgRangeResp:
+		return "RangeResp"
 	}
 	return fmt.Sprintf("kind_%02d", kind)
 }
@@ -67,6 +71,7 @@ func (s *SkipList) instrument() {
 			r.Gauge(pre + "rejected").Set(int64(p.Rejected))
 			r.Gauge(pre + "migrations").Set(int64(p.Migrations))
 			r.Gauge(pre + "cmds_dropped").Set(int64(p.CmdsDropped))
+			r.Gauge(pre + "ranges_served").Set(int64(p.RangesServed))
 			if p.mig != nil {
 				moved += p.mig.NodesMoved
 			}
@@ -84,7 +89,18 @@ func (s *SkipList) instrument() {
 			retries += cl.Rejections
 			dirUpdates += cl.DirUpdates
 		}
+		var scans, scanKeys, scanPages uint64
+		for _, rc := range s.rclients {
+			retries += rc.Rejections
+			dirUpdates += rc.DirUpdates
+			scans += rc.Completed
+			scanKeys += rc.KeysReturned
+			scanPages += rc.Pages
+		}
 		r.Gauge("pimskip/client_retries").Set(int64(retries))
 		r.Gauge("pimskip/dir_updates").Set(int64(dirUpdates))
+		r.Gauge("pimskip/scans").Set(int64(scans))
+		r.Gauge("pimskip/scan_keys").Set(int64(scanKeys))
+		r.Gauge("pimskip/scan_pages").Set(int64(scanPages))
 	})
 }

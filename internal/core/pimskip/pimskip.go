@@ -37,6 +37,8 @@ const (
 	MsgMigEnd    // source → target: protocol complete, range unlocked
 	MsgSizeReq   // control → core: reply with partition size
 	MsgSizeResp  // core → control: Val = size
+	MsgRange     // request: Key = lo, Val = hi, Payload = limit (int)
+	MsgRangeResp // response chunk: Payload = []int64 keys; final chunk has OK = true, Val = cursor
 )
 
 // keyRange is a half-open key interval [Low, High).
@@ -143,11 +145,15 @@ type Partition struct {
 
 	mig *migration // outgoing migration, or nil
 
+	// arena is reused scratch for range-scan results between requests.
+	arena []int64
+
 	// Stats.
-	Forwarded   uint64
-	Rejected    uint64
-	Migrations  uint64
-	CmdsDropped uint64
+	Forwarded    uint64
+	Rejected     uint64
+	Migrations   uint64
+	CmdsDropped  uint64
+	RangesServed uint64 // range pages answered (rejections excluded)
 }
 
 // Core exposes the partition's PIM core.
@@ -165,6 +171,7 @@ type SkipList struct {
 	keySpace int64
 	parts    []*Partition
 	clients  []*Client
+	rclients []*RangeClient
 	control  *sim.CPU
 
 	// auth tracks authoritative ownership for Preload and tests; the
@@ -293,6 +300,8 @@ func (p *Partition) handle(c *sim.PIMCore, m sim.Message) {
 	switch m.Kind {
 	case MsgContains, MsgAdd, MsgRemove:
 		p.handleOp(c, m)
+	case MsgRange:
+		p.handleRange(c, m)
 	case MsgMigCmd:
 		p.handleMigCmd(c, m)
 	case MsgMigStep:
@@ -470,15 +479,20 @@ func (p *Partition) migStep(c *sim.PIMCore) {
 	p.owns = p.owns.remove(mig.rng.Low, mig.rng.High)
 	c.Send(sim.Message{To: mig.target, Kind: MsgMigOwn, Key: mig.rng.Low, Val: mig.rng.High})
 	mig.phase = migNotify
-	clients := p.s.clients
-	mig.acksWanted = len(clients)
+	mig.acksWanted = len(p.s.clients) + len(p.s.rclients)
 	if mig.acksWanted == 0 {
 		p.finishMigration(c)
 		return
 	}
-	for _, cl := range clients {
+	for _, cl := range p.s.clients {
 		c.Send(sim.Message{
 			To: cl.cpu.ID(), Kind: MsgDirUpdate,
+			Key: mig.rng.Low, Val: mig.rng.High, Payload: mig.target,
+		})
+	}
+	for _, rc := range p.s.rclients {
+		c.Send(sim.Message{
+			To: rc.cpu.ID(), Kind: MsgDirUpdate,
 			Key: mig.rng.Low, Val: mig.rng.High, Payload: mig.target,
 		})
 	}

@@ -1,0 +1,199 @@
+package pimskip
+
+import (
+	"math/rand"
+	"testing"
+
+	"pimds/internal/sim"
+)
+
+// TestRangeScanSweepsPartitions: a full-space scan must return exactly
+// the preloaded keys in order, visiting one page per partition.
+func TestRangeScanSweepsPartitions(t *testing.T) {
+	const space, parts = 256, 4
+	e := sim.NewEngine(testConfig())
+	s := New(e, space, parts, 7)
+	var want []int64
+	for k := int64(0); k < space; k += 3 {
+		want = append(want, k)
+	}
+	s.Preload(want)
+
+	var got [][]int64
+	rc := s.NewRangeClient(func(uint64) RangeOp {
+		return RangeOp{Lo: 0, Hi: space}
+	})
+	rc.OnScan = func(op RangeOp, keys []int64) {
+		got = append(got, append([]int64(nil), keys...))
+	}
+	rc.Start()
+	e.RunUntil(sim.Millisecond)
+	rc.Stop()
+	e.Run()
+
+	if len(got) == 0 {
+		t.Fatal("no scans completed")
+	}
+	for i, keys := range got {
+		if len(keys) != len(want) {
+			t.Fatalf("scan %d returned %d keys, want %d", i, len(keys), len(want))
+		}
+		for j := range keys {
+			if keys[j] != want[j] {
+				t.Fatalf("scan %d: keys[%d] = %d, want %d", i, j, keys[j], want[j])
+			}
+		}
+	}
+	if rc.Pages < rc.Completed*parts {
+		t.Errorf("%d pages for %d full-space scans over %d partitions, want ≥ %d",
+			rc.Pages, rc.Completed, parts, rc.Completed*parts)
+	}
+	// Cost accounting: the serving cores walked every returned node in
+	// their vaults — vault reads must at least cover the keys returned.
+	var reads uint64
+	for _, p := range s.Partitions() {
+		reads += p.Core().Vault().Reads
+	}
+	if reads < rc.KeysReturned {
+		t.Errorf("%d vault reads for %d returned keys; bottom-level walk not charged", reads, rc.KeysReturned)
+	}
+}
+
+// TestRangeScanLimitPaginates: a tight per-page limit still reaches
+// every key via cursors, in more pages.
+func TestRangeScanLimitPaginates(t *testing.T) {
+	const space = 128
+	e := sim.NewEngine(testConfig())
+	s := New(e, space, 2, 9)
+	var want []int64
+	for k := int64(0); k < space; k += 2 {
+		want = append(want, k)
+	}
+	s.Preload(want)
+
+	done := false
+	rc := s.NewRangeClient(func(uint64) RangeOp {
+		return RangeOp{Lo: 0, Hi: space, Limit: 5}
+	})
+	rc.OnScan = func(op RangeOp, keys []int64) {
+		if done {
+			return
+		}
+		done = true
+		if len(keys) != len(want) {
+			t.Errorf("limited scan returned %d keys, want %d", len(keys), len(want))
+		}
+	}
+	rc.Start()
+	e.RunUntil(sim.Millisecond)
+	rc.Stop()
+	e.Run()
+	if !done {
+		t.Fatal("no scan completed")
+	}
+	// 64 keys at ≤5 per page needs ≥13 pages per scan.
+	if rc.Pages < rc.Completed*13 {
+		t.Errorf("%d pages for %d limit-5 scans, want ≥ %d", rc.Pages, rc.Completed, rc.Completed*13)
+	}
+}
+
+// TestRangeScanEmptyWindow: a window with no keys completes with zero
+// keys (and still pays the descent).
+func TestRangeScanEmptyWindow(t *testing.T) {
+	e := sim.NewEngine(testConfig())
+	s := New(e, 256, 2, 3)
+	s.Preload([]int64{10, 250})
+	rc := s.NewRangeClient(func(uint64) RangeOp {
+		return RangeOp{Lo: 64, Hi: 96}
+	})
+	rc.Start()
+	e.RunUntil(100 * sim.Microsecond)
+	rc.Stop()
+	e.Run()
+	if rc.Completed == 0 {
+		t.Fatal("no scans completed")
+	}
+	if rc.KeysReturned != 0 {
+		t.Errorf("empty window returned %d keys", rc.KeysReturned)
+	}
+}
+
+// TestRangeScanDuringMigration: scans racing the migration protocol
+// must still return exactly the present keys — pages overlapping the
+// moving range are rejected and retried until the hand-off settles.
+func TestRangeScanDuringMigration(t *testing.T) {
+	const space = 256
+	e := sim.NewEngine(testConfig())
+	s := New(e, space, 2, 5)
+	var want []int64
+	for k := int64(0); k < space; k++ {
+		want = append(want, k)
+	}
+	s.Preload(want)
+
+	bad := 0
+	rc := s.NewRangeClient(func(uint64) RangeOp {
+		return RangeOp{Lo: 0, Hi: space}
+	})
+	rc.OnScan = func(op RangeOp, keys []int64) {
+		// The workload is read-only, so every scan must see all keys
+		// regardless of where the migration has moved them.
+		if len(keys) != len(want) {
+			bad++
+		}
+	}
+	rc.Start()
+	// Move the top half of partition 0's range to partition 1 while
+	// scans are in flight.
+	s.TriggerMigration(0, 64, 128, 1)
+	e.RunUntil(2 * sim.Millisecond)
+	rc.Stop()
+	e.Run()
+
+	if rc.Completed == 0 {
+		t.Fatal("no scans completed")
+	}
+	if bad != 0 {
+		t.Fatalf("%d of %d scans lost or duplicated keys during migration", bad, rc.Completed)
+	}
+	if got := s.Partitions()[0].Len(); got != 64 {
+		t.Errorf("partition 0 has %d keys after migrating [64,128) away, want 64", got)
+	}
+}
+
+// TestRangeScanDeterminism: the same seed and workload must replay to
+// the identical virtual end time and stats — the property resume and
+// regression comparisons rely on.
+func TestRangeScanDeterminism(t *testing.T) {
+	run := func() (sim.Time, uint64, uint64, uint64) {
+		e := sim.NewEngine(testConfig())
+		s := New(e, 512, 4, 21)
+		var keys []int64
+		for k := int64(1); k < 512; k += 2 {
+			keys = append(keys, k)
+		}
+		s.Preload(keys)
+		rng := rand.New(rand.NewSource(99))
+		rc := s.NewRangeClient(func(uint64) RangeOp {
+			lo := rng.Int63n(448)
+			return RangeOp{Lo: lo, Hi: lo + 64, Limit: 7}
+		})
+		cl := s.NewClient(balancedOps(17, 512))
+		rc.Start()
+		cl.Start()
+		e.RunUntil(sim.Millisecond)
+		rc.Stop()
+		cl.Stop()
+		e.Run()
+		return e.Now(), rc.Completed, rc.KeysReturned, rc.Pages
+	}
+	t1, c1, k1, p1 := run()
+	t2, c2, k2, p2 := run()
+	if t1 != t2 || c1 != c2 || k1 != k2 || p1 != p2 {
+		t.Fatalf("replay diverged: (%v, %d, %d, %d) vs (%v, %d, %d, %d)",
+			t1, c1, k1, p1, t2, c2, k2, p2)
+	}
+	if c1 == 0 || k1 == 0 {
+		t.Fatalf("degenerate run: %d scans, %d keys", c1, k1)
+	}
+}

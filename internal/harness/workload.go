@@ -18,42 +18,117 @@ import (
 // OpKind is a set-operation kind, shared across structures.
 type OpKind uint8
 
-// The three set operations.
+// The three set operations, plus the ordered operations the sorted
+// structures serve. The values mirror seqlist's enum so the ToList
+// conversion stays a cast.
 const (
 	Contains OpKind = iota
 	Add
 	Remove
+	Scan
+	Pred
+	Succ
+	PopMin
+	PopMax
 )
 
-// Op is a structure-agnostic set operation.
+// Op is a structure-agnostic set operation. Hi and Limit are a scan's
+// exclusive upper bound and result cap; other kinds leave them zero.
 type Op struct {
-	Kind OpKind
-	Key  int64
+	Kind  OpKind
+	Key   int64
+	Hi    int64
+	Limit uint16
 }
 
 // ToList converts to the sequential-list op type.
 func (o Op) ToList() seqlist.Op {
-	return seqlist.Op{Kind: seqlist.OpKind(o.Kind), Key: o.Key}
+	return seqlist.Op{Kind: seqlist.OpKind(o.Kind), Key: o.Key, Hi: o.Hi, Limit: int(o.Limit)}
 }
 
-// ToSkip converts to the sequential-skip-list op type.
+// ToSkip converts to the sequential-skip-list op type (point kinds
+// only; seqskip serves the ordered kinds through dedicated methods).
 func (o Op) ToSkip() seqskip.Op {
 	return seqskip.Op{Kind: seqskip.OpKind(o.Kind), Key: o.Key}
 }
 
-// Mix is an operation mix in percent; the three fields must sum to 100.
+// Mix is an operation mix in percent; all fields together must sum to
+// 100. The ordered percentages matter only to workloads whose target
+// serves the ordered surface (the network server's list/skip
+// structures); the in-process structure benchmarks use the point trio.
 type Mix struct {
 	ContainsPct int
 	AddPct      int
 	RemovePct   int
+
+	ScanPct   int
+	PredPct   int
+	SuccPct   int
+	PopMinPct int
+	PopMaxPct int
 }
 
-// Validate checks the mix sums to 100.
+// OrderedPct is the share of ordered operations in the mix.
+func (m Mix) OrderedPct() int {
+	return m.ScanPct + m.PredPct + m.SuccPct + m.PopMinPct + m.PopMaxPct
+}
+
+// Validate checks the mix sums to 100 with no negative share.
 func (m Mix) Validate() error {
-	if m.ContainsPct+m.AddPct+m.RemovePct != 100 {
+	for _, pct := range []int{m.ContainsPct, m.AddPct, m.RemovePct, m.ScanPct, m.PredPct, m.SuccPct, m.PopMinPct, m.PopMaxPct} {
+		if pct < 0 {
+			return fmt.Errorf("harness: mix %+v has a negative share", m)
+		}
+	}
+	if m.ContainsPct+m.AddPct+m.RemovePct+m.OrderedPct() != 100 {
 		return fmt.Errorf("harness: mix %+v does not sum to 100", m)
 	}
 	return nil
+}
+
+// ParseMix parses the mix spec shared by the pimbench and pimload -mix
+// flags: the point trio "contains/add/remove", optionally followed by
+// named ordered shares, all summing to 100. Examples:
+//
+//	90/5/5
+//	25/30/30,scan:10,popmin:5
+//	0/45/45,scan:10
+func ParseMix(spec string) (Mix, error) {
+	parts := strings.Split(spec, ",")
+	var m Mix
+	if _, err := fmt.Sscanf(parts[0], "%d/%d/%d", &m.ContainsPct, &m.AddPct, &m.RemovePct); err != nil {
+		return Mix{}, fmt.Errorf("harness: bad mix %q (want C/A/R[,kind:pct...], e.g. 25/30/30,scan:10,popmin:5)", spec)
+	}
+	for _, p := range parts[1:] {
+		name, val, ok := strings.Cut(p, ":")
+		var pct int
+		if ok {
+			var err error
+			pct, err = strconv.Atoi(val)
+			ok = err == nil
+		}
+		if !ok {
+			return Mix{}, fmt.Errorf("harness: bad mix term %q (want kind:pct)", p)
+		}
+		switch name {
+		case "scan":
+			m.ScanPct = pct
+		case "pred":
+			m.PredPct = pct
+		case "succ":
+			m.SuccPct = pct
+		case "popmin":
+			m.PopMinPct = pct
+		case "popmax":
+			m.PopMaxPct = pct
+		default:
+			return Mix{}, fmt.Errorf("harness: unknown mix kind %q (want scan|pred|succ|popmin|popmax)", name)
+		}
+	}
+	if err := m.Validate(); err != nil {
+		return Mix{}, err
+	}
+	return m, nil
 }
 
 // Balanced is the paper's size-stable update-only mix (equal adds and
@@ -195,6 +270,15 @@ type Generator struct {
 	dist KeyDist
 	mix  Mix
 	zipf *rand.Zipf // cached Zipf source; nil for other distributions
+
+	// ScanSpan is the width of generated range scans: a scan covers
+	// [lo, lo+ScanSpan) with lo drawn from the key distribution, so
+	// skewed distributions scan hot regions exactly as often as they
+	// point-read them. NewGenerator defaults it to 1/64 of the space.
+	ScanSpan int64
+	// ScanLimit is the per-scan result cap sent with each scan (0 lets
+	// the server apply its maximum).
+	ScanLimit uint16
 }
 
 // NewGenerator builds a generator; the same seed yields the same
@@ -208,6 +292,9 @@ func NewGenerator(seed int64, dist KeyDist, mix Mix) *Generator {
 	g := &Generator{rng: rand.New(rand.NewSource(seed)), dist: dist, mix: mix}
 	if z, ok := dist.(Zipf); ok {
 		g.zipf = z.source(g.rng)
+	}
+	if g.ScanSpan = dist.Space() / 64; g.ScanSpan < 1 {
+		g.ScanSpan = 1
 	}
 	return g
 }
@@ -226,14 +313,22 @@ func (g *Generator) Next() Op {
 		k = g.dist.Next(g.rng)
 	}
 	r := g.rng.Intn(100)
-	switch {
-	case r < g.mix.ContainsPct:
+	if c := g.mix.ContainsPct; r < c {
 		return Op{Kind: Contains, Key: k}
-	case r < g.mix.ContainsPct+g.mix.AddPct:
+	} else if r -= c; r < g.mix.AddPct {
 		return Op{Kind: Add, Key: k}
-	default:
+	} else if r -= g.mix.AddPct; r < g.mix.RemovePct {
 		return Op{Kind: Remove, Key: k}
+	} else if r -= g.mix.RemovePct; r < g.mix.ScanPct {
+		return Op{Kind: Scan, Key: k, Hi: k + g.ScanSpan, Limit: g.ScanLimit}
+	} else if r -= g.mix.ScanPct; r < g.mix.PredPct {
+		return Op{Kind: Pred, Key: k}
+	} else if r -= g.mix.PredPct; r < g.mix.SuccPct {
+		return Op{Kind: Succ, Key: k}
+	} else if r -= g.mix.SuccPct; r < g.mix.PopMinPct {
+		return Op{Kind: PopMin}
 	}
+	return Op{Kind: PopMax}
 }
 
 // ListStream adapts the generator to the signature pimlist clients use.

@@ -19,15 +19,20 @@ import (
 	"sort"
 )
 
-// Op is one completed operation.
+// Op is one completed operation. Input2, Limit and Outputs matter only
+// to actions that use them (ActScan's hi bound, result cap and
+// returned keys); point actions leave them zero.
 type Op struct {
-	Start  int64 // invocation time (exclusive precedence boundary)
-	End    int64 // response time
-	Client int   // issuing client: ops of one client are program-ordered
-	Action int   // spec-defined operation code
-	Input  int64
-	Output int64
-	OK     bool // spec-defined success flag of the response
+	Start   int64 // invocation time (exclusive precedence boundary)
+	End     int64 // response time
+	Client  int   // issuing client: ops of one client are program-ordered
+	Action  int   // spec-defined operation code
+	Input   int64
+	Input2  int64   // second input (a scan's exclusive hi bound)
+	Limit   int     // result cap (≤ 0 = unlimited)
+	Output  int64   // primary output (a scan's pagination cursor)
+	Outputs []int64 // variable-length output (a scan's keys)
+	OK      bool    // spec-defined success flag of the response
 }
 
 // Spec is a sequential specification: Apply returns (successor state,

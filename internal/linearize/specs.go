@@ -15,6 +15,11 @@ const (
 	ActAdd                 // Input = key; OK = was absent
 	ActRemove              // Input = key; OK = was present
 	ActContains            // Input = key; OK = present
+	ActScan                // Input = lo, Input2 = hi, Limit = cap; Outputs = keys, Output = cursor
+	ActPred                // Input = key; OK = a smaller key exists, Output = largest such
+	ActSucc                // Input = key; OK = a larger key exists, Output = smallest such
+	ActPopMin              // OK = set non-empty, Output = smallest key (removed)
+	ActPopMax              // OK = set non-empty, Output = largest key (removed)
 )
 
 // QueueSpec is the sequential FIFO queue specification.
@@ -103,8 +108,10 @@ func (s stackState) Apply(op Op) (State, bool) {
 // Key implements State.
 func (s stackState) Key() string { return s.vals }
 
-// SetSpec is the sequential integer-set specification (add/remove/
-// contains with the usual boolean results).
+// SetSpec is the sequential ordered-set specification: add/remove/
+// contains with the usual boolean results, plus the ordered operations
+// (range scan with pagination cursor, strict predecessor/successor,
+// extremum pops) that the sorted structures serve.
 type SetSpec struct{}
 
 // Init returns the empty set state.
@@ -117,6 +124,40 @@ type setState struct {
 // Apply implements State.
 func (s setState) Apply(op Op) (State, bool) {
 	keys := decodeSeq(s.keys)
+	switch op.Action {
+	case ActScan:
+		return s, s.scanLegal(keys, op)
+	case ActPred:
+		for i := len(keys) - 1; i >= 0; i-- {
+			if keys[i] < op.Input {
+				return s, op.OK && op.Output == keys[i]
+			}
+		}
+		return s, !op.OK
+	case ActSucc:
+		for _, k := range keys {
+			if k > op.Input {
+				return s, op.OK && op.Output == k
+			}
+		}
+		return s, !op.OK
+	case ActPopMin:
+		if len(keys) == 0 {
+			return s, !op.OK
+		}
+		if !op.OK || op.Output != keys[0] {
+			return s, false
+		}
+		return setState{keys: encodeSeq(keys[1:])}, true
+	case ActPopMax:
+		if len(keys) == 0 {
+			return s, !op.OK
+		}
+		if !op.OK || op.Output != keys[len(keys)-1] {
+			return s, false
+		}
+		return setState{keys: encodeSeq(keys[:len(keys)-1])}, true
+	}
 	idx := sort.Search(len(keys), func(i int) bool { return keys[i] >= op.Input })
 	present := idx < len(keys) && keys[idx] == op.Input
 	switch op.Action {
@@ -142,6 +183,38 @@ func (s setState) Apply(op Op) (State, bool) {
 		return setState{keys: encodeSeq(keys)}, true
 	}
 	return s, false
+}
+
+// scanLegal reports whether a recorded range scan is the answer this
+// state gives for [Input, Input2) with the recorded Limit: the keys in
+// the interval in ascending order, truncated at Limit, with the cursor
+// at Input2 when the interval was exhausted or at the first unreturned
+// key when the limit bit. Scans never mutate the state.
+func (setState) scanLegal(keys []int64, op Op) bool {
+	if !op.OK {
+		return false // scans always succeed; a failed one is no scan
+	}
+	want := keys[:0:0]
+	cursor := op.Input2
+	for i, k := range keys {
+		if k < op.Input || k >= op.Input2 {
+			continue
+		}
+		if op.Limit > 0 && len(want) == op.Limit {
+			cursor = keys[i]
+			break
+		}
+		want = append(want, k)
+	}
+	if op.Output != cursor || len(op.Outputs) != len(want) {
+		return false
+	}
+	for i := range want {
+		if op.Outputs[i] != want[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // Key implements State.

@@ -59,6 +59,12 @@ type Config struct {
 	// Seed makes the key streams reproducible (connection i uses
 	// Seed+i). Timing, of course, is not.
 	Seed int64
+	// ScanSpan is the key width of generated range scans (mix kinds
+	// scan:N); 0 keeps the generator default of 1/64 of the key space.
+	ScanSpan int64
+	// ScanLimit is the per-scan result cap sent on the wire; 0 lets the
+	// server apply its maximum (wire.MaxScanLimit).
+	ScanLimit int
 	// DialTimeout bounds each connection attempt. Default 5s.
 	DialTimeout time.Duration
 	// TraceSample is the fraction of request frames ([0, 1]) sent as
@@ -111,6 +117,16 @@ type Result struct {
 	OverBudget   uint64 // responses slower than Cfg.SLOP99
 	Allocs       uint64 // client-side heap allocations during the run
 	AllocBytes   uint64 // client-side bytes allocated during the run
+	Scans        uint64 // completed range scans (subset of Ops)
+	ScanKeys     uint64 // keys returned across all completed scans
+}
+
+// KeysPerScan is the mean result cardinality of the run's range scans.
+func (r *Result) KeysPerScan() float64 {
+	if r.Scans == 0 {
+		return 0
+	}
+	return float64(r.ScanKeys) / float64(r.Scans)
 }
 
 // AllocsPerOp is the client-side allocation cost of one completed
@@ -185,6 +201,9 @@ func (r *Result) String() string {
 	s := fmt.Sprintf("pimload: %d ops in %.2fs = %.0f ops/s (%s, %d conns, pipeline %d; p50=%s p95=%s p99=%s; %d errors; %.1f allocs/op)",
 		r.Ops, r.Elapsed.Seconds(), r.OpsPerSec(), r.mode(), r.Cfg.Conns, r.Cfg.Pipeline,
 		time.Duration(p50), time.Duration(p95), time.Duration(p99), r.Errors, r.AllocsPerOp())
+	if r.Scans > 0 {
+		s += fmt.Sprintf("\npimload: %d scans returned %d keys (%.1f keys/scan)", r.Scans, r.ScanKeys, r.KeysPerScan())
+	}
 	if slo, ok := r.SLO(); ok {
 		verdict := "PASS"
 		if !slo.Met {
@@ -210,7 +229,7 @@ func (r *Result) Report() *benchfmt.Report {
 	tab := benchfmt.Table{
 		Title:   fmt.Sprintf("pimload — %s workload", r.Cfg.Structure),
 		Note:    fmt.Sprintf("dist %s, addr %s", r.Cfg.Dist.Name(), r.Cfg.Addr),
-		Columns: []string{"conns", "mode", "pipeline", "ops/s", "p50 latency", "p95 latency", "p99 latency", "errors", "allocs/op", "B/op", "slo burn"},
+		Columns: []string{"conns", "mode", "pipeline", "ops/s", "p50 latency", "p95 latency", "p99 latency", "errors", "allocs/op", "B/op", "slo burn", "scans", "keys/scan"},
 		Rows: [][]string{{
 			fmt.Sprint(r.Cfg.Conns),
 			r.mode(),
@@ -223,6 +242,8 @@ func (r *Result) Report() *benchfmt.Report {
 			fmt.Sprintf("%.2f", r.AllocsPerOp()),
 			fmt.Sprintf("%.0f", r.BytesPerOp()),
 			burn,
+			fmt.Sprint(r.Scans),
+			fmt.Sprintf("%.1f", r.KeysPerScan()),
 		}},
 	}
 	return &benchfmt.Report{
@@ -240,6 +261,7 @@ func (r *Result) Report() *benchfmt.Report {
 // from the connection's seed.
 type opStream struct {
 	structure string
+	v2        bool // encode frames as V2 (required once the mix has ordered ops)
 	gen       *harness.Generator
 	nextID    uint64
 	trng      uint64 // trace-sampling xorshift64 state
@@ -249,7 +271,14 @@ type opStream struct {
 func newOpStream(cfg Config, conn int) *opStream {
 	st := &opStream{
 		structure: cfg.Structure,
+		v2:        cfg.Structure == StructSet && cfg.Mix.OrderedPct() > 0,
 		gen:       harness.NewGenerator(cfg.Seed+int64(conn)*7919, cfg.Dist, cfg.Mix),
+	}
+	if cfg.ScanSpan > 0 {
+		st.gen.ScanSpan = cfg.ScanSpan
+	}
+	if cfg.ScanLimit > 0 {
+		st.gen.ScanLimit = uint16(cfg.ScanLimit)
 	}
 	if cfg.TraceSample > 0 {
 		if cfg.TraceSample >= 1 {
@@ -318,11 +347,42 @@ func (st *opStream) next() wire.Op {
 			op.Kind = wire.Contains
 		case harness.Add:
 			op.Kind = wire.Add
-		default:
+		case harness.Remove:
 			op.Kind = wire.Remove
+		case harness.Scan:
+			op.Kind, op.Hi, op.Limit = wire.RangeScan, o.Hi, o.Limit
+		case harness.Pred:
+			op.Kind = wire.Pred
+		case harness.Succ:
+			op.Kind = wire.Succ
+		case harness.PopMin:
+			op.Kind = wire.PopMin
+		default:
+			op.Kind = wire.PopMax
 		}
 	}
 	return op
+}
+
+// appendRequest encodes one request frame for this stream: the V2
+// encoding once the mix carries ordered ops (their Hi/Limit need the
+// wider records), the fixed encodings otherwise. The trace context
+// rides in either encoding. Pinned with the loops that call it: the
+// encode path runs once per frame of every measured run.
+//
+//pimvet:allocfree //pimvet:nonblocking
+func (st *opStream) appendRequest(out []byte, batch []wire.Op, ctr *counters) ([]byte, error) {
+	tc, traced := st.traceFrame()
+	if traced {
+		ctr.traced.Add(1)
+	}
+	if st.v2 {
+		return wire.AppendRequestV2(out, batch, tc)
+	}
+	if traced {
+		return wire.AppendRequestTraced(out, batch, tc)
+	}
+	return wire.AppendRequest(out, batch)
 }
 
 // Run executes the configured load and blocks until every connection
@@ -382,6 +442,8 @@ func Run(cfg Config) (*Result, error) {
 	res.Errors = ctr.errs.Load()
 	res.OverBudget = ctr.over.Load()
 	res.TracedFrames = ctr.traced.Load()
+	res.Scans = ctr.scans.Load()
+	res.ScanKeys = ctr.scanKeys.Load()
 	res.Allocs = m1.Mallocs - m0.Mallocs
 	res.AllocBytes = m1.TotalAlloc - m0.TotalAlloc
 	if err, _ := runErr.Load().(error); err != nil {
@@ -392,10 +454,12 @@ func Run(cfg Config) (*Result, error) {
 
 // counters aggregates per-connection tallies across the run.
 type counters struct {
-	ops    atomic.Uint64 // responses received
-	errs   atomic.Uint64 // non-OK responses
-	over   atomic.Uint64 // responses over the SLO budget
-	traced atomic.Uint64 // request frames sent with trace context
+	ops      atomic.Uint64 // responses received
+	errs     atomic.Uint64 // non-OK responses
+	over     atomic.Uint64 // responses over the SLO budget
+	traced   atomic.Uint64 // request frames sent with trace context
+	scans    atomic.Uint64 // scan responses received
+	scanKeys atomic.Uint64 // keys returned across scan responses
 }
 
 // observe records one response latency, tallying SLO budget overruns.
@@ -414,6 +478,14 @@ func (c *counters) observe(lat *obs.Histogram, d int64, budget int64, status wir
 	}
 }
 
+// observeScan tallies one scan response's cardinality.
+//
+//pimvet:allocfree //pimvet:nonblocking
+func (c *counters) observeScan(nkeys int) {
+	c.scans.Add(1)
+	c.scanKeys.Add(uint64(nkeys))
+}
+
 // closedLoop keeps exactly Pipeline operations outstanding: send one
 // request frame of Pipeline ops, wait for all responses, repeat.
 func closedLoop(cfg Config, st *opStream, nc net.Conn, stop <-chan struct{}, ctr *counters, lat *obs.Histogram) error {
@@ -423,6 +495,7 @@ func closedLoop(cfg Config, st *opStream, nc net.Conn, stop <-chan struct{}, ctr
 	batch := make([]wire.Op, cfg.Pipeline)
 	var out, payload []byte
 	var results []wire.Result
+	var vals []int64
 	var err error
 	for {
 		select {
@@ -433,16 +506,12 @@ func closedLoop(cfg Config, st *opStream, nc net.Conn, stop <-chan struct{}, ctr
 		for i := range batch {
 			batch[i] = st.next()
 		}
-		if tc, traced := st.traceFrame(); traced {
-			out, err = wire.AppendRequestTraced(out[:0], batch, tc)
-			ctr.traced.Add(1)
-		} else {
-			out, err = wire.AppendRequest(out[:0], batch)
-		}
+		out, err = st.appendRequest(out[:0], batch, ctr)
 		if err != nil {
 			return err
 		}
 		t0 := time.Now()
+		base := batch[0].ID
 		if _, err := bw.Write(out); err != nil {
 			return fmt.Errorf("loadgen: write: %w", err)
 		}
@@ -454,13 +523,20 @@ func closedLoop(cfg Config, st *opStream, nc net.Conn, stop <-chan struct{}, ctr
 			if err != nil {
 				return fmt.Errorf("loadgen: read: %w", err)
 			}
-			results, err = wire.DecodeResponse(payload, results[:0])
+			// Values slices alias vals and are only read inside this
+			// iteration, so one reusable arena per connection suffices.
+			results, vals, err = wire.DecodeResponseAny(payload, results[:0], vals[:0])
 			if err != nil {
 				return err
 			}
 			d := time.Since(t0).Nanoseconds()
 			for _, r := range results {
 				ctr.observe(lat, d, budget, r.Status)
+				// IDs in a closed-loop batch are consecutive from base, so
+				// the echoed ID indexes the op that produced this response.
+				if idx := r.ID - base; st.v2 && idx < uint64(len(batch)) && batch[idx].Kind == wire.RangeScan {
+					ctr.observeScan(len(r.Values))
+				}
 			}
 			seen += len(results)
 		}
@@ -481,9 +557,16 @@ func openLoop(cfg Config, st *opStream, nc net.Conn, stop <-chan struct{}, ctr *
 	budget := cfg.SLOP99.Nanoseconds()
 	maxOut := cfg.Pipeline * 64
 
+	// sentOp remembers what went out under an ID: the send time for
+	// latency, and whether it was a scan so the reader can tally result
+	// cardinality without re-decoding the request.
+	type sentOp struct {
+		t0   time.Time
+		scan bool
+	}
 	var (
 		mu    sync.Mutex
-		sent  = make(map[uint64]time.Time, maxOut)
+		sent  = make(map[uint64]sentOp, maxOut)
 		slots = make(chan struct{}, maxOut)
 		wErr  atomic.Value
 		done  = make(chan struct{}) // reader saw EOF (or failed)
@@ -495,6 +578,7 @@ func openLoop(cfg Config, st *opStream, nc net.Conn, stop <-chan struct{}, ctr *
 		br := bufio.NewReaderSize(nc, 64<<10)
 		var payload []byte
 		var results []wire.Result
+		var vals []int64
 		var err error
 		for {
 			payload, err = wire.ReadFrame(br, payload[:0])
@@ -502,7 +586,7 @@ func openLoop(cfg Config, st *opStream, nc net.Conn, stop <-chan struct{}, ctr *
 				wErr.CompareAndSwap(nil, fmt.Errorf("loadgen: read: %w", err))
 				return
 			}
-			results, err = wire.DecodeResponse(payload, results[:0])
+			results, vals, err = wire.DecodeResponseAny(payload, results[:0], vals[:0])
 			if err != nil {
 				wErr.CompareAndSwap(nil, err)
 				return
@@ -510,9 +594,12 @@ func openLoop(cfg Config, st *opStream, nc net.Conn, stop <-chan struct{}, ctr *
 			now := time.Now()
 			mu.Lock()
 			for _, r := range results {
-				if t0, ok := sent[r.ID]; ok {
+				if s, ok := sent[r.ID]; ok {
 					delete(sent, r.ID)
-					ctr.observe(lat, now.Sub(t0).Nanoseconds(), budget, r.Status)
+					ctr.observe(lat, now.Sub(s.t0).Nanoseconds(), budget, r.Status)
+					if s.scan {
+						ctr.observeScan(len(r.Values))
+					}
 					<-slots
 				}
 			}
@@ -542,14 +629,9 @@ send:
 		next = next.Add(interval)
 		op := st.next()
 		mu.Lock()
-		sent[op.ID] = time.Now()
+		sent[op.ID] = sentOp{t0: time.Now(), scan: op.Kind == wire.RangeScan}
 		mu.Unlock()
-		if tc, traced := st.traceFrame(); traced {
-			out, err = wire.AppendRequestTraced(out[:0], []wire.Op{op}, tc)
-			ctr.traced.Add(1)
-		} else {
-			out, err = wire.AppendRequest(out[:0], []wire.Op{op})
-		}
+		out, err = st.appendRequest(out[:0], []wire.Op{op}, ctr)
 		if err != nil {
 			return err
 		}

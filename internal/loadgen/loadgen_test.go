@@ -136,6 +136,62 @@ func TestQueueAndStackLoads(t *testing.T) {
 	}
 }
 
+func TestOrderedMixAgainstServer(t *testing.T) {
+	// A mix with ordered kinds flips the injector to the V2 encoding;
+	// scans come back in variable-size frames and their cardinality is
+	// tallied. Single shard so the global kinds (popmin/succ) are legal.
+	const keySpace = 1 << 12
+	_, addr, _ := startServer(t, server.Config{
+		Structure: server.StructSkip, KeySpace: keySpace,
+	})
+	mix, err := harness.ParseMix("40/20/15,scan:15,popmin:5,succ:5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := loadgen.Config{
+		Addr:      addr,
+		Conns:     4,
+		Pipeline:  8,
+		Duration:  200 * time.Millisecond,
+		Dist:      harness.Uniform{N: keySpace},
+		Mix:       mix,
+		Seed:      17,
+		ScanSpan:  256,
+		ScanLimit: 32,
+	}
+	if err := loadgen.Preload(cfg); err != nil {
+		t.Fatal(err)
+	}
+	res, err := loadgen.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops == 0 {
+		t.Fatal("no operations completed")
+	}
+	if res.Errors != 0 {
+		t.Fatalf("%d error responses", res.Errors)
+	}
+	if res.Scans == 0 {
+		t.Fatal("a 15%% scan mix completed no scans")
+	}
+	// The space is preloaded half full, so a 256-wide scan capped at 32
+	// should usually return keys.
+	if res.ScanKeys == 0 {
+		t.Fatal("scans over a half-full key space returned no keys")
+	}
+	if kps := res.KeysPerScan(); kps <= 0 || kps > 32 {
+		t.Fatalf("keys/scan %.1f outside (0, 32]", kps)
+	}
+	if !strings.Contains(res.String(), "keys/scan") {
+		t.Errorf("summary missing scan line:\n%s", res.String())
+	}
+	row := res.Report().Experiments[0].Tables[0].Rows[0]
+	if row[11] == "0" {
+		t.Errorf("report scans cell = %q, want > 0", row[11])
+	}
+}
+
 func TestPreloadFillsHalfTheKeySpace(t *testing.T) {
 	const keySpace = 1 << 10
 	srv, addr, _ := startServer(t, server.Config{

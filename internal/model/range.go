@@ -1,0 +1,100 @@
+package model
+
+// Partitioned range queries (the ordered-op extension of the Table 2
+// skip-list rows). A range scan of window width S over a K-partitioned
+// structure of N keys in key space U:
+//
+//   - returns R = S·N/U keys in expectation (the window's share of the
+//     uniformly spread keys);
+//   - touches Q = 1 + S·K/U partitions in expectation (capped at K):
+//     the partition owning the low edge plus one per range boundary the
+//     window straddles — each touched partition serves one page;
+//   - each page costs one descent to the page's low edge (β vault
+//     accesses), the pages together walk R bottom-level nodes, and the
+//     results return in cache-line-sized chunks of Chunk keys, so the
+//     messaging bill is Q requests answered by R/Chunk response chunks.
+//
+// Per scan, on PIM cores:
+//
+//	T_range = Q·β·Lpim + R·Lpim + (Q + R/Chunk)·Lmessage
+//
+// At S = 0 this collapses to Q = 1, R = 0, T = β·Lpim + Lmessage —
+// exactly the point-op row — so the range rows reduce to Table 2 as the
+// window shrinks, and the scan's advantage over R separate point
+// lookups (R·(β·Lpim + Lmessage)) is the shared traversal: one descent
+// per partition instead of one per key.
+type RangeConfig struct {
+	SkipConfig
+	// KeySpace is the key universe size U the N keys are drawn from.
+	KeySpace int64
+	// Span is the width S of one query window [lo, lo+S).
+	Span int64
+	// Chunk is the number of keys per response message; 0 means the
+	// cache-line default of 8 (eight 8-byte keys).
+	Chunk int
+}
+
+func (c RangeConfig) chunk() float64 {
+	if c.Chunk > 0 {
+		return float64(c.Chunk)
+	}
+	return 8
+}
+
+// ExpectedKeys returns R, the expected number of keys one window holds.
+func (c RangeConfig) ExpectedKeys() float64 {
+	if c.KeySpace <= 0 || c.Span <= 0 {
+		return 0
+	}
+	return float64(c.Span) * float64(c.N) / float64(c.KeySpace)
+}
+
+// ExpectedPages returns Q, the expected number of partitions (= pages)
+// one window touches, in [1, K].
+func (c RangeConfig) ExpectedPages() float64 {
+	if c.KeySpace <= 0 || c.Span <= 0 {
+		return 1
+	}
+	q := 1 + float64(c.Span)*c.partitions()/float64(c.KeySpace)
+	if k := c.partitions(); q > k {
+		q = k
+	}
+	return q
+}
+
+// SkipPIMRangeSeconds returns the modeled PIM-side service time of one
+// range scan (see the package comment above RangeConfig).
+func SkipPIMRangeSeconds(pr Params, c RangeConfig) float64 {
+	r := c.ExpectedKeys()
+	q := c.ExpectedPages()
+	return q*c.beta()*pr.lpimSec() + r*pr.lpimSec() + (q+r/c.chunk())*pr.lmsgSec()
+}
+
+// SkipPIMPartitionedRange returns scans per second for the PIM-managed
+// skip-list with k partitions: the k cores' aggregate service capacity
+// divided by one scan's bill. At Span = 0 it equals SkipPIMPartitioned.
+func SkipPIMPartitionedRange(pr Params, c RangeConfig) float64 {
+	return perSecond(SkipPIMRangeSeconds(pr, c) / c.partitions())
+}
+
+// SkipFCPartitionedRange is the CPU flat-combining baseline: the same
+// shared traversal (Q descents + R bottom-level steps) at CPU memory
+// latency, with no messaging. At Span = 0 it equals SkipFCPartitioned.
+func SkipFCPartitionedRange(pr Params, c RangeConfig) float64 {
+	cost := (c.ExpectedPages()*c.beta() + c.ExpectedKeys()) * pr.lcpuSec()
+	return perSecond(cost / c.partitions())
+}
+
+// RangeVsPointScans returns the modeled speedup of one R-key range scan
+// over fetching the same R keys with independent point lookups on the
+// same partitioned PIM structure: R·(β·Lpim + Lmessage) / T_range. It
+// approaches β·Lpim/(Lpim + Lmessage/chunk) for wide windows — the
+// shared-traversal payoff that motivates serving scans in the combiner.
+func RangeVsPointScans(pr Params, c RangeConfig) float64 {
+	r := c.ExpectedKeys()
+	if r < 1 {
+		r = 1
+	}
+	point := r * (c.beta()*pr.lpimSec() + pr.lmsgSec())
+	return point / SkipPIMRangeSeconds(pr, c)
+}

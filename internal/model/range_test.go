@@ -1,0 +1,75 @@
+package model
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRangeReducesToPointRowsAtSpanZero(t *testing.T) {
+	pr := DefaultParams()
+	c := RangeConfig{
+		SkipConfig: SkipConfig{N: 1 << 20, P: 16, K: 8},
+		KeySpace:   1 << 21,
+		Span:       0,
+	}
+	if got, want := SkipPIMPartitionedRange(pr, c), SkipPIMPartitioned(pr, c.SkipConfig); got != want {
+		t.Errorf("PIM range at span 0 = %g, want the point row %g", got, want)
+	}
+	if got, want := SkipFCPartitionedRange(pr, c), SkipFCPartitioned(pr, c.SkipConfig); got != want {
+		t.Errorf("FC range at span 0 = %g, want the point row %g", got, want)
+	}
+	if q := c.ExpectedPages(); q != 1 {
+		t.Errorf("span 0 expected pages = %g, want 1", q)
+	}
+	if r := c.ExpectedKeys(); r != 0 {
+		t.Errorf("span 0 expected keys = %g, want 0", r)
+	}
+}
+
+func TestRangeThroughputMonotonicInSpan(t *testing.T) {
+	pr := DefaultParams()
+	c := RangeConfig{
+		SkipConfig: SkipConfig{N: 1 << 20, P: 16, K: 8},
+		KeySpace:   1 << 21,
+	}
+	prev := math.Inf(1)
+	for _, span := range []int64{0, 16, 256, 4096, 1 << 16, 1 << 20} {
+		c.Span = span
+		got := SkipPIMPartitionedRange(pr, c)
+		if got <= 0 || got >= prev {
+			t.Errorf("span %d: %g scans/s, want positive and below %g (wider windows cost more)", span, got, prev)
+		}
+		prev = got
+	}
+}
+
+func TestRangePagesCappedAtPartitions(t *testing.T) {
+	c := RangeConfig{
+		SkipConfig: SkipConfig{N: 1 << 16, K: 4},
+		KeySpace:   1 << 16,
+		Span:       1 << 16, // full-space sweep
+	}
+	if q := c.ExpectedPages(); q != 4 {
+		t.Errorf("full-space sweep expected pages = %g, want K = 4", q)
+	}
+}
+
+func TestRangeBeatsPointLookupsOnWideWindows(t *testing.T) {
+	pr := DefaultParams()
+	c := RangeConfig{
+		SkipConfig: SkipConfig{N: 1 << 20, P: 16, K: 8},
+		KeySpace:   1 << 21,
+		Span:       1 << 12,
+	}
+	if s := RangeVsPointScans(pr, c); s <= 1 {
+		t.Errorf("shared traversal speedup %g, want > 1 for a %d-wide window", s, c.Span)
+	}
+	// The asymptote: for very wide windows the per-key bill approaches
+	// Lpim + Lmessage/chunk, so the speedup approaches β·Lpim over that.
+	c.Span = 1 << 20
+	beta := c.beta()
+	asym := (beta*pr.lpimSec() + pr.lmsgSec()) / (pr.lpimSec() + pr.lmsgSec()/c.chunk())
+	if s := RangeVsPointScans(pr, c); s < asym*0.5 || s > asym*1.5 {
+		t.Errorf("wide-window speedup %g, want near asymptote %g", s, asym)
+	}
+}

@@ -61,7 +61,7 @@ func TestApplyBatchAllocs(t *testing.T) {
 				for i := range pre {
 					pre[i] = wire.Op{Kind: wire.Add, Key: int64(2 * i)}
 				}
-				be.ApplyBatch(pre, out)
+				be.ApplyBatch(pre, out, nil)
 			case StructQueue:
 				for i := 0; i < 64; i++ {
 					sh.batch = append(sh.batch,
@@ -90,6 +90,60 @@ func TestApplyBatchAllocs(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+// TestApplyBatchOrderedAllocs pins the ordered combiner path: once the
+// arena and sort scratch have grown to the batch's high-water mark, a
+// pass mixing point ops, range scans and extremum pops must not
+// allocate either — the scan values live in the shard arena, and the
+// per-delivery copies happen outside the pinned window.
+func TestApplyBatchOrderedAllocs(t *testing.T) {
+	skipIfRace(t)
+	be, err := newBackend(StructList, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &Server{cfg: Config{}.withDefaults(), epoch: time.Now()}
+	sh := &shard{
+		be:      be,
+		batch:   make([]pendingOp, 0, wire.MaxOpsPerFrame),
+		ops:     make([]wire.Op, 0, wire.MaxOpsPerFrame),
+		results: make([]wire.Result, wire.MaxOpsPerFrame),
+	}
+	pre := make([]wire.Op, 128)
+	out := make([]wire.Result, 128)
+	for i := range pre {
+		pre[i] = wire.Op{Kind: wire.Add, Key: int64(2 * i)}
+	}
+	be.ApplyBatch(pre, out, nil)
+	// Size-stable mix: each round pops the extremes and re-adds them,
+	// with scans and neighbor queries interleaved.
+	sh.batch = append(sh.batch,
+		pendingOp{op: wire.Op{ID: 1, Kind: wire.PopMin}},
+		pendingOp{op: wire.Op{ID: 2, Kind: wire.PopMax}},
+		pendingOp{op: wire.Op{ID: 3, Kind: wire.Add, Key: 0}},
+		pendingOp{op: wire.Op{ID: 4, Kind: wire.Add, Key: 254}},
+		pendingOp{op: wire.Op{ID: 5, Kind: wire.RangeScan, Key: 10, Hi: 90, Limit: 16}},
+		pendingOp{op: wire.Op{ID: 6, Kind: wire.Pred, Key: 100}},
+		pendingOp{op: wire.Op{ID: 7, Kind: wire.Succ, Key: 100}},
+		pendingOp{op: wire.Op{ID: 8, Kind: wire.RangeScan, Key: 100, Hi: 200, Limit: 32}},
+		pendingOp{op: wire.Op{ID: 9, Kind: wire.Contains, Key: 50}},
+	)
+	s.applyBatch(sh, false) // warm arena and sort scratch
+	avg := testing.AllocsPerRun(100, func() {
+		s.applyBatch(sh, false)
+	})
+	if avg != 0 {
+		t.Errorf("ordered applyBatch steady state: %.1f allocs/op, want 0", avg)
+	}
+	for i := range sh.batch {
+		if sh.results[i].Status != wire.StatusOK {
+			t.Fatalf("op %d: status %v", i, sh.results[i].Status)
+		}
+	}
+	if n := len(sh.results[4].Values); n != 16 {
+		t.Fatalf("scan returned %d values, want 16", n)
 	}
 }
 

@@ -15,8 +15,12 @@ import (
 // loop is the combiner lock.
 //
 // ApplyBatch executes ops[i] and writes its outcome to out[i]; kinds
-// have already been validated against the structure by the reader, so
-// a backend only sees kinds it supports.
+// have already been validated against the structure's capability row by
+// the reader, so a backend only sees kinds it supports. Range scans
+// append their keys to arena and slice out[i].Values from the returned
+// (possibly grown) arena — every Values field is valid only until the
+// next pass reuses the arena, so the combiner copies them out before
+// delivery.
 //
 // ApplyBatch runs inside the combining window (Server.applyBatch, which
 // is //pimvet:nonblocking), so every implementation must be marked
@@ -27,7 +31,7 @@ import (
 // entries) and carry only the nonblocking mark.
 type backend interface {
 	// ApplyBatch serves one combiner pass. len(out) == len(ops).
-	ApplyBatch(ops []wire.Op, out []wire.Result)
+	ApplyBatch(ops []wire.Op, out []wire.Result, arena []int64) []int64
 	// Len returns the element count (used at quiescence by tests and
 	// the metrics collector).
 	Len() int
@@ -42,24 +46,6 @@ const (
 	StructStack = "stack"
 )
 
-// setKinds reports whether k is a set operation (list/skip/hash).
-func setKinds(k wire.OpKind) bool {
-	return k == wire.Contains || k == wire.Add || k == wire.Remove
-}
-
-// kindSupported reports whether structure serves kind k.
-func kindSupported(structure string, k wire.OpKind) bool {
-	switch structure {
-	case StructList, StructSkip, StructHash:
-		return setKinds(k)
-	case StructQueue:
-		return k == wire.Enqueue || k == wire.Dequeue
-	case StructStack:
-		return k == wire.Push || k == wire.Pop
-	}
-	return false
-}
-
 // newBackend builds shard i of n for the named structure.
 func newBackend(structure string, shard int, seed int64) (backend, error) {
 	switch structure {
@@ -68,9 +54,14 @@ func newBackend(structure string, shard int, seed int64) (backend, error) {
 			l:   seqlist.New(),
 			ops: make([]seqlist.Op, 0, wire.MaxOpsPerFrame),
 			oks: make([]bool, wire.MaxOpsPerFrame),
+			res: make([]seqlist.OpResult, wire.MaxOpsPerFrame),
 		}, nil
 	case StructSkip:
-		return &skipBackend{l: seqskip.New(uint64(seed) + uint64(shard)*0x9e3779b97f4a7c15)}, nil
+		return &skipBackend{
+			l:      seqskip.New(uint64(seed) + uint64(shard)*0x9e3779b97f4a7c15),
+			starts: make([]int, wire.MaxOpsPerFrame),
+			counts: make([]int, wire.MaxOpsPerFrame),
+		}, nil
 	case StructHash:
 		return &hashBackend{t: seqhash.New(1 << 10)}, nil
 	case StructQueue:
@@ -82,45 +73,118 @@ func newBackend(structure string, shard int, seed int64) (backend, error) {
 		structure, StructList, StructSkip, StructHash, StructQueue, StructStack)
 }
 
+// listKinds maps wire kinds onto seqlist kinds; the numeric values
+// diverge (the wire enum interleaves queue/stack kinds), so the
+// translation is explicit.
+var listKinds = [wire.NumKinds]seqlist.OpKind{
+	wire.Contains:  seqlist.Contains,
+	wire.Add:       seqlist.Add,
+	wire.Remove:    seqlist.Remove,
+	wire.RangeScan: seqlist.RangeScan,
+	wire.Pred:      seqlist.Pred,
+	wire.Succ:      seqlist.Succ,
+	wire.PopMin:    seqlist.PopMin,
+	wire.PopMax:    seqlist.PopMax,
+}
+
 // listBackend serves set ops on a sorted linked list, using the
 // paper's combining optimization: the whole batch is sorted and served
-// in one traversal (seqlist.ApplyBatchInto), so a combiner pass costs
-// one walk instead of one walk per request. ops/oks are preallocated at
-// the frame cap so translation in and out of wire types allocates
-// nothing.
+// in one traversal. A batch of point ops takes the original
+// ApplyBatchInto path; a batch containing ordered ops takes
+// ApplyOrderedBatchInto, which shares a single finger walk between
+// point ops, neighbor queries and range scans. ops/oks/res are
+// preallocated at the frame cap so translation in and out of wire types
+// allocates nothing.
 type listBackend struct {
 	l   *seqlist.List
-	ops []seqlist.Op // scratch
-	oks []bool       // scratch
+	ops []seqlist.Op       // scratch
+	oks []bool             // scratch (point-only path)
+	res []seqlist.OpResult // scratch (ordered path)
 }
 
 //pimvet:allocfree //pimvet:nonblocking
-func (b *listBackend) ApplyBatch(ops []wire.Op, out []wire.Result) {
+func (b *listBackend) ApplyBatch(ops []wire.Op, out []wire.Result, arena []int64) []int64 {
 	b.ops = b.ops[:0]
+	ordered := false
 	for _, op := range ops {
-		b.ops = append(b.ops, seqlist.Op{Kind: seqlist.OpKind(op.Kind), Key: op.Key})
+		b.ops = append(b.ops, seqlist.Op{
+			Kind: listKinds[op.Kind], Key: op.Key, Hi: op.Hi, Limit: int(op.Limit),
+		})
+		if op.Kind.Ordered() {
+			ordered = true
+		}
 	}
-	oks := b.oks[:len(ops)]
-	b.l.ApplyBatchInto(b.ops, oks)
+	if !ordered {
+		oks := b.oks[:len(ops)]
+		b.l.ApplyBatchInto(b.ops, oks)
+		for i, op := range ops {
+			out[i] = wire.Result{ID: op.ID, Status: wire.StatusOK, OK: oks[i]}
+		}
+		return arena
+	}
+	res := b.res[:len(ops)]
+	arena = b.l.ApplyOrderedBatchInto(b.ops, res, arena)
 	for i, op := range ops {
-		out[i] = wire.Result{ID: op.ID, Status: wire.StatusOK, OK: oks[i]}
+		r := res[i]
+		out[i] = wire.Result{ID: op.ID, Status: wire.StatusOK, OK: r.OK, Value: r.Value}
+		if r.Scan {
+			// Slice after the whole batch ran: the arena cannot grow
+			// (and move) under an already-taken segment anymore.
+			out[i].Values = arena[r.Start : r.Start+r.N : r.Start+r.N]
+		}
 	}
+	return arena
 }
 
 func (b *listBackend) Len() int { return b.l.Len() }
 
-// skipBackend serves set ops on a sequential skip-list. Adds allocate
-// towers, so this backend is nonblocking but not allocfree.
+// skipBackend serves set ops on a sequential skip-list, applying the
+// batch in publication order (any serialization of a concurrent batch
+// is linearizable). Adds allocate towers, so this backend is
+// nonblocking but not allocfree. starts/counts park each scan's arena
+// segment until the batch is done and the arena has stopped moving.
 type skipBackend struct {
-	l *seqskip.List
+	l      *seqskip.List
+	starts []int // scratch: scan arena offsets by op index
+	counts []int // scratch: scan cardinalities by op index
 }
 
 //pimvet:nonblocking
-func (b *skipBackend) ApplyBatch(ops []wire.Op, out []wire.Result) {
+func (b *skipBackend) ApplyBatch(ops []wire.Op, out []wire.Result, arena []int64) []int64 {
+	scans := false
 	for i, op := range ops {
-		ok := b.l.Apply(seqskip.Op{Kind: seqskip.OpKind(op.Kind), Key: op.Key})
-		out[i] = wire.Result{ID: op.ID, Status: wire.StatusOK, OK: ok}
+		r := wire.Result{ID: op.ID, Status: wire.StatusOK}
+		switch op.Kind {
+		case wire.Contains:
+			r.OK = b.l.ContainsKey(op.Key)
+		case wire.Add:
+			r.OK = b.l.AddKey(op.Key)
+		case wire.Remove:
+			r.OK = b.l.RemoveKey(op.Key)
+		case wire.Pred:
+			r.Value, r.OK = b.l.PredKey(op.Key)
+		case wire.Succ:
+			r.Value, r.OK = b.l.SuccKey(op.Key)
+		case wire.PopMin:
+			r.Value, r.OK = b.l.PopMinKey()
+		case wire.PopMax:
+			r.Value, r.OK = b.l.PopMaxKey()
+		case wire.RangeScan:
+			b.starts[i] = len(arena)
+			arena, b.counts[i], r.Value = b.l.RangeScanInto(op.Key, op.Hi, int(op.Limit), arena)
+			r.OK = true
+			scans = true
+		}
+		out[i] = r
 	}
+	if scans {
+		for i, op := range ops {
+			if op.Kind == wire.RangeScan {
+				out[i].Values = arena[b.starts[i] : b.starts[i]+b.counts[i] : b.starts[i]+b.counts[i]]
+			}
+		}
+	}
+	return arena
 }
 
 func (b *skipBackend) Len() int { return b.l.Len() }
@@ -133,7 +197,7 @@ type hashBackend struct {
 }
 
 //pimvet:nonblocking
-func (b *hashBackend) ApplyBatch(ops []wire.Op, out []wire.Result) {
+func (b *hashBackend) ApplyBatch(ops []wire.Op, out []wire.Result, arena []int64) []int64 {
 	for i, op := range ops {
 		var ok bool
 		switch op.Kind {
@@ -146,6 +210,7 @@ func (b *hashBackend) ApplyBatch(ops []wire.Op, out []wire.Result) {
 		}
 		out[i] = wire.Result{ID: op.ID, Status: wire.StatusOK, OK: ok}
 	}
+	return arena
 }
 
 func (b *hashBackend) Len() int { return b.t.Len() }
@@ -158,7 +223,7 @@ type queueBackend struct {
 }
 
 //pimvet:allocfree //pimvet:nonblocking
-func (b *queueBackend) ApplyBatch(ops []wire.Op, out []wire.Result) {
+func (b *queueBackend) ApplyBatch(ops []wire.Op, out []wire.Result, arena []int64) []int64 {
 	for i, op := range ops {
 		switch op.Kind {
 		case wire.Enqueue:
@@ -169,6 +234,7 @@ func (b *queueBackend) ApplyBatch(ops []wire.Op, out []wire.Result) {
 			out[i] = wire.Result{ID: op.ID, Status: wire.StatusOK, OK: ok, Value: v}
 		}
 	}
+	return arena
 }
 
 func (b *queueBackend) push(v int64) {
@@ -203,7 +269,7 @@ type stackBackend struct {
 }
 
 //pimvet:allocfree //pimvet:nonblocking
-func (b *stackBackend) ApplyBatch(ops []wire.Op, out []wire.Result) {
+func (b *stackBackend) ApplyBatch(ops []wire.Op, out []wire.Result, arena []int64) []int64 {
 	for i, op := range ops {
 		switch op.Kind {
 		case wire.Push:
@@ -218,6 +284,7 @@ func (b *stackBackend) ApplyBatch(ops []wire.Op, out []wire.Result) {
 			}
 		}
 	}
+	return arena
 }
 
 func (b *stackBackend) Len() int { return len(b.vals) }

@@ -59,6 +59,28 @@ func (l *OpLog) record(batch []pendingOp, results []wire.Result, end int64) {
 		case wire.Pop:
 			op.Action = linearize.ActPop
 			op.Output = res.Value
+		case wire.RangeScan:
+			// p.op carries the reader-clamped Hi and Limit — the bounds
+			// the scan actually ran with. Outputs aliases the combiner's
+			// per-pass copy of the scan values, which is never mutated
+			// after delivery.
+			op.Action = linearize.ActScan
+			op.Input2 = p.op.Hi
+			op.Limit = int(p.op.Limit)
+			op.Output = res.Value
+			op.Outputs = res.Values
+		case wire.Pred:
+			op.Action = linearize.ActPred
+			op.Output = res.Value
+		case wire.Succ:
+			op.Action = linearize.ActSucc
+			op.Output = res.Value
+		case wire.PopMin:
+			op.Action = linearize.ActPopMin
+			op.Output = res.Value
+		case wire.PopMax:
+			op.Action = linearize.ActPopMax
+			op.Output = res.Value
 		}
 		l.ops = append(l.ops, op)
 	}

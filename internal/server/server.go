@@ -26,6 +26,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -205,6 +206,7 @@ func (c *conn) sampleHit(threshold uint64) bool {
 // stop with Shutdown.
 type Server struct {
 	cfg    Config
+	caps   Capability
 	shards []*shard
 	epoch  time.Time
 	tr     *tracer
@@ -242,7 +244,11 @@ type Server struct {
 // shard is one combiner: a bounded publication queue plus the
 // sequential structure only its loop touches. batch/ops/results are the
 // combiner's scratch, preallocated at BatchMax in New so a combine pass
-// allocates nothing; only the combiner goroutine touches them.
+// allocates nothing; only the combiner goroutine touches them. arena is
+// the pass-local store for range-scan values: backends append into it,
+// results reference segments of it, and the combiner copies those
+// segments out before the next pass truncates it, so its capacity
+// amortizes to the largest scan pass.
 type shard struct {
 	idx int
 	in  chan pendingOp
@@ -251,10 +257,12 @@ type shard struct {
 	batch   []pendingOp
 	ops     []wire.Op
 	results []wire.Result
+	arena   []int64
 
 	batchSize  *obs.Histogram
 	queueDepth *obs.Gauge
 	combines   *obs.Counter
+	scanBatch  *obs.Histogram
 }
 
 // New builds a server from cfg.
@@ -269,8 +277,14 @@ func New(cfg Config) (*Server, error) {
 	if cfg.KeySpace < int64(cfg.Shards) {
 		return nil, fmt.Errorf("server: key space %d smaller than %d shards", cfg.KeySpace, cfg.Shards)
 	}
+	caps, ok := LookupCapability(cfg.Structure)
+	if !ok {
+		return nil, fmt.Errorf("server: unknown structure %q (want %s)",
+			cfg.Structure, strings.Join(Structures(), "|"))
+	}
 	s := &Server{
 		cfg:       cfg,
+		caps:      caps,
 		epoch:     time.Now(),
 		drainDone: make(chan struct{}),
 
@@ -298,6 +312,7 @@ func New(cfg Config) (*Server, error) {
 			batchSize:  cfg.Reg.Histogram(fmt.Sprintf("server/shard/%03d/batch_size", i)),
 			queueDepth: cfg.Reg.Gauge(fmt.Sprintf("server/shard/%03d/queue_depth", i)),
 			combines:   cfg.Reg.Counter(fmt.Sprintf("server/shard/%03d/combines", i)),
+			scanBatch:  cfg.Reg.Histogram(fmt.Sprintf("server/shard/%03d/scan_batch", i)),
 		}
 		s.shards = append(s.shards, sh)
 		s.shardWG.Add(1)
@@ -333,6 +348,11 @@ func (s *Server) now() int64 { return time.Since(s.epoch).Nanoseconds() }
 func (s *Server) shardFor(key int64) *shard {
 	i := int(key * int64(len(s.shards)) / s.cfg.KeySpace)
 	return s.shards[i]
+}
+
+// shardUpper is the exclusive upper key bound of shard i's partition.
+func (s *Server) shardUpper(i int) int64 {
+	return int64(i+1) * s.cfg.KeySpace / int64(len(s.shards))
 }
 
 // Serve accepts connections on ln until Shutdown (returning nil after
@@ -448,17 +468,37 @@ func (s *Server) readLoop(c *conn) {
 		}
 		start := s.now()
 		for _, op := range ops {
-			if !kindSupported(s.cfg.Structure, op.Kind) {
+			if !s.caps.Supports(op.Kind) {
 				s.reject(c, wire.Result{ID: op.ID, Status: wire.StatusBadKind})
 				continue
 			}
-			if setKinds(op.Kind) && (op.Key < 0 || op.Key >= s.cfg.KeySpace) {
+			if s.caps.SerialOnly(op.Kind) && len(s.shards) > 1 {
+				// Global queries (Pred/Succ/PopMin/PopMax) would need a
+				// cross-shard merge; until that lands (ROADMAP item 5)
+				// they are served only by single-shard servers.
+				s.reject(c, wire.Result{ID: op.ID, Status: wire.StatusBadKind})
+				continue
+			}
+			if s.caps.Keyed(op.Kind) && (op.Key < 0 || op.Key >= s.cfg.KeySpace) {
 				s.reject(c, wire.Result{ID: op.ID, Status: wire.StatusBadKey})
 				continue
 			}
 			sh := s.shards[0]
-			if setKinds(op.Kind) {
+			if s.caps.Keyed(op.Kind) {
 				sh = s.shardFor(op.Key)
+			}
+			if op.Kind == wire.RangeScan {
+				// Clamp Hi to the owning shard's bound so one scan never
+				// crosses a combiner — the pagination cursor (== the
+				// clamped Hi on a complete scan) walks the client into
+				// the next shard naturally — and bound the per-scan
+				// cardinality (a Limit of 0 requests the maximum).
+				if hi := s.shardUpper(sh.idx); op.Hi > hi {
+					op.Hi = hi
+				}
+				if op.Limit == 0 || op.Limit > wire.MaxScanLimit {
+					op.Limit = wire.MaxScanLimit
+				}
 			}
 			var sp *span
 			if sampled {
@@ -538,6 +578,23 @@ func (s *Server) combineLoop(sh *shard) {
 		}
 		end := s.applyBatch(sh, traced)
 
+		// Scan results reference segments of the shard's arena, which
+		// the next pass truncates and refills; copy them out here — in
+		// the loop, not the pinned combining window, so the combiner has
+		// already stamped completion and the copies are plain heap
+		// slices the writer (and op log) can hold indefinitely. Point
+		// results carry no values and skip this entirely.
+		scans := int64(0)
+		for i := range sh.results {
+			if sh.results[i].Values != nil {
+				sh.results[i].Values = append([]int64(nil), sh.results[i].Values...)
+				scans++
+			}
+		}
+		if scans > 0 {
+			sh.scanBatch.Observe(scans)
+		}
+
 		s.cfg.Log.record(sh.batch, sh.results, end)
 		sh.combines.Inc()
 		sh.batchSize.Observe(int64(len(sh.batch)))
@@ -578,7 +635,7 @@ func (s *Server) applyBatch(sh *shard, traced bool) int64 {
 		sh.ops = append(sh.ops, sh.batch[i].op)
 	}
 	sh.results = sh.results[:len(sh.batch)]
-	sh.be.ApplyBatch(sh.ops, sh.results)
+	sh.arena = sh.be.ApplyBatch(sh.ops, sh.results, sh.arena[:0])
 	return s.now()
 }
 
@@ -656,7 +713,8 @@ func (s *Server) writeLoop(c *conn) {
 			pending = pending[:0]
 			continue
 		}
-		buf, _ = wire.AppendResponse(buf[:0], batch)
+		var nframes int
+		buf, nframes, _ = wire.AppendResponses(buf[:0], batch)
 		if len(spans) > 0 {
 			tEnc := s.now()
 			for _, sp := range spans {
@@ -682,7 +740,7 @@ func (s *Server) writeLoop(c *conn) {
 			}
 			pending = s.finishFlushed(pending)
 		}
-		s.framesOut.Inc()
+		s.framesOut.Add(uint64(nframes))
 	}
 }
 

@@ -101,6 +101,66 @@ func TestResponseRoundTripAllocs(t *testing.T) {
 	}
 }
 
+func TestRequestV2RoundTripAllocs(t *testing.T) {
+	skipIfRace(t)
+	ops := benchOps(64)
+	for i := range ops {
+		if i%4 == 0 {
+			ops[i].Kind = wire.RangeScan
+			ops[i].Hi = ops[i].Key + 100
+			ops[i].Limit = 16
+		}
+	}
+	tc := wire.TraceContext{TraceID: 0xfeed, Sampled: true}
+	buf := make([]byte, 0, 1<<14)
+	dst := make([]wire.Op, 0, 64)
+	var err error
+	avg := testing.AllocsPerRun(200, func() {
+		buf, err = wire.AppendRequestV2(buf[:0], ops, tc)
+		if err != nil {
+			return
+		}
+		dst, _, err = wire.DecodeRequestAny(buf[4:], dst[:0])
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if avg != 0 {
+		t.Errorf("V2 request encode+decode: %.1f allocs/op, want 0", avg)
+	}
+}
+
+func TestResponseVarRoundTripAllocs(t *testing.T) {
+	skipIfRace(t)
+	results := benchResults(64)
+	scanKeys := make([]int64, 8)
+	for i := range scanKeys {
+		scanKeys[i] = int64(i * 5)
+	}
+	for i := range results {
+		if i%4 == 0 {
+			results[i].Values = scanKeys
+		}
+	}
+	buf := make([]byte, 0, 1<<14)
+	dst := make([]wire.Result, 0, 64)
+	arena := make([]int64, 0, 1024)
+	var err error
+	avg := testing.AllocsPerRun(200, func() {
+		buf, err = wire.AppendResponseVar(buf[:0], results)
+		if err != nil {
+			return
+		}
+		dst, arena, err = wire.DecodeResponseAny(buf[4:], dst[:0], arena[:0])
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if avg != 0 {
+		t.Errorf("var response encode+decode: %.1f allocs/op, want 0", avg)
+	}
+}
+
 func TestReadFrameSteadyStateAllocs(t *testing.T) {
 	skipIfRace(t)
 	frame, err := wire.AppendRequest(nil, benchOps(64))

@@ -16,15 +16,31 @@ func FuzzDecodeFrame(f *testing.F) {
 	seed3, _ := AppendRequest(nil, nil)
 	seed4, _ := AppendRequestTraced(nil, []Op{{ID: 4, Kind: Contains, Key: 11}}, TraceContext{TraceID: 0xfeedface, Sampled: true})
 	seed5, _ := AppendRequestTraced(nil, nil, TraceContext{TraceID: 1})
+	seed6, _ := AppendRequestV2(nil, []Op{
+		{ID: 5, Kind: RangeScan, Key: 3, Hi: 900, Limit: 32},
+		{ID: 6, Kind: PopMin},
+	}, TraceContext{})
+	seed7, _ := AppendRequestV2(nil, []Op{{ID: 7, Kind: Succ, Key: -1}}, TraceContext{TraceID: 0xabc, Sampled: true})
+	seed8, _ := AppendResponseVar(nil, []Result{
+		{ID: 8, Status: StatusOK, OK: true, Value: 40, Values: []int64{12, 17, 39}},
+		{ID: 9, Status: StatusOK, OK: false, Value: 0},
+	})
+	seed9, _ := AppendResponseVar(nil, nil)
 	f.Add(seed1)
 	f.Add(seed2)
 	f.Add(seed3)
 	f.Add(seed4)
 	f.Add(seed5)
+	f.Add(seed6)
+	f.Add(seed7)
+	f.Add(seed8)
+	f.Add(seed9)
 	f.Add([]byte{0xff, 0xff, 0xff, 0xff})
 	f.Add([]byte{3, 0, 0, 0, FrameRequest, 0, 0})
 	// Traced frame with zero trace id: well-framed but non-canonical.
 	f.Add([]byte{12, 0, 0, 0, FrameRequestTraced, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0})
+	// Var response declaring one record but carrying no body: truncated.
+	f.Add([]byte{3, 0, 0, 0, FrameResponseVar, 1, 0})
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		payload, err := ReadFrame(bytes.NewReader(data), nil)
@@ -42,9 +58,12 @@ func FuzzDecodeFrame(f *testing.F) {
 		}
 		if ops, tc, err := DecodeRequestAny(payload, nil); err == nil {
 			var re []byte
-			if tc.Valid() {
+			switch payload[0] {
+			case FrameRequestV2:
+				re, err = AppendRequestV2(nil, ops, tc)
+			case FrameRequestTraced:
 				re, err = AppendRequestTraced(nil, ops, tc)
-			} else {
+			default:
 				re, err = AppendRequest(nil, ops)
 			}
 			if err != nil {
@@ -61,6 +80,20 @@ func FuzzDecodeFrame(f *testing.F) {
 			}
 			if !bytes.Equal(re[4:], payload) {
 				t.Fatalf("response round-trip mismatch:\n in: %x\nout: %x", payload, re[4:])
+			}
+		}
+		if results, _, err := DecodeResponseAny(payload, nil, nil); err == nil {
+			var re []byte
+			if payload[0] == FrameResponseVar {
+				re, err = AppendResponseVar(nil, results)
+			} else {
+				re, err = AppendResponse(nil, results)
+			}
+			if err != nil {
+				t.Fatalf("accepted frame fails to re-encode: %v", err)
+			}
+			if !bytes.Equal(re[4:], payload) {
+				t.Fatalf("response-any round-trip mismatch:\n in: %x\nout: %x", payload, re[4:])
 			}
 		}
 	})
