@@ -59,6 +59,14 @@ func main() {
 		return
 	}
 
+	if *scanLimit < 0 || *scanLimit > wire.MaxScanLimit {
+		// Catch it here rather than as a stream of rejected frames: the
+		// limit rides in every scan op and the server drops violators.
+		fmt.Fprintf(os.Stderr, "pimload: -scan-limit %d out of range (wire protocol caps scans at %d results; 0 = server max)\n",
+			*scanLimit, wire.MaxScanLimit)
+		os.Exit(2)
+	}
+
 	kd, err := harness.ParseKeyDist(*dist, *keys)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)

@@ -8,6 +8,7 @@
 //
 //	pimserve -structure skip -shards 8 -addr :7070 -metrics :7071
 //	pimserve -structure queue -addr :7070
+//	pimserve -structure hash -wal-dir /var/lib/pimserve -fsync batch
 //
 // On SIGINT/SIGTERM the server drains: queued operations execute,
 // their responses flush, then connections close and the process exits
@@ -50,6 +51,9 @@ func main() {
 		slowThresh  = flag.Duration("slow-threshold", 0, "log sampled requests at least this slow to /slow (0 = off)")
 		windowTick  = flag.Duration("window-tick", time.Second, "windowed-metrics rotation interval for /metrics/history and /healthz (0 = off)")
 		healthP99   = flag.Duration("health-p99", 0, "p99 latency budget for the health rules (0 = default)")
+		walDir      = flag.String("wal-dir", "", "directory for the write-ahead log and snapshots (empty = no durability)")
+		fsync       = flag.String("fsync", server.FsyncBatch, "WAL fsync policy: always (per batch)|batch (per writer pass, group commit)|off (OS page cache only)")
+		snapEvery   = flag.Duration("snapshot-every", 10*time.Second, "interval between snapshots that truncate the WAL (0 = only on clean shutdown)")
 		version     = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
@@ -80,6 +84,9 @@ func main() {
 		SlowThreshold: *slowThresh,
 		WindowTick:    *windowTick,
 		HealthRules:   server.DefaultHealthRules(*healthP99),
+		WALDir:        *walDir,
+		Fsync:         *fsync,
+		SnapshotEvery: *snapEvery,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -93,6 +100,10 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "pimserve: serving %s (%d shards, keyspace %d) on %s\n",
 		*structure, *shards, *keySpace, ln.Addr())
+	if *walDir != "" {
+		fmt.Fprintf(os.Stderr, "pimserve: durable (wal-dir %s, fsync %s, snapshot every %v)\n",
+			*walDir, *fsync, *snapEvery)
+	}
 
 	if *metricsAddr != "" {
 		mln, err := net.Listen("tcp", *metricsAddr)

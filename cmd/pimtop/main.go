@@ -55,8 +55,20 @@ type summary struct {
 	P50NS     int64               `json:"p50_ns"`
 	P99NS     int64               `json:"p99_ns"`
 	ConnsOpen int64               `json:"conns_open"`
+	WAL       *walRow             `json:"wal,omitempty"`
 	Shards    []shardRow          `json:"shards"`
 	Alerts    []health.RuleResult `json:"alerts"`
+}
+
+// walRow summarizes the durability pipeline; present only when the
+// server runs with a WAL.
+type walRow struct {
+	RecordsPerSec float64 `json:"records_per_sec"`
+	BytesPerSec   float64 `json:"bytes_per_sec"`
+	FsyncsPerSec  float64 `json:"fsyncs_per_sec"`
+	GroupMean     float64 `json:"group_mean"`
+	LagP99NS      int64   `json:"lag_p99_ns"`
+	Snapshots     uint64  `json:"snapshots"`
 }
 
 type shardRow struct {
@@ -185,6 +197,9 @@ func summarize(hist *obs.History, hd *healthDoc) summary {
 		s.P50NS, s.P99NS = hs.P50, hs.P99
 	}
 	s.ConnsOpen = latest.Gauges["server/conns/open"]
+	if w := walSummary(latest); w != nil {
+		s.WAL = w
+	}
 	for _, name := range sortedKeys(latest.Histograms) {
 		shard, ok := shardOf(name, "batch_size")
 		if !ok {
@@ -196,6 +211,29 @@ func summarize(hist *obs.History, hd *healthDoc) summary {
 		s.Shards = append(s.Shards, row)
 	}
 	return s
+}
+
+// walSummary folds the WAL metrics out of one sample, or nil when the
+// server runs without durability (the counters are registered only
+// when a WAL is configured).
+func walSummary(latest *obs.WindowSample) *walRow {
+	records, ok := latest.Counters["server/wal/records"]
+	if !ok {
+		return nil
+	}
+	w := &walRow{
+		RecordsPerSec: rate(records, latest.DurNS),
+		BytesPerSec:   rate(latest.Counters["server/wal/bytes"], latest.DurNS),
+		FsyncsPerSec:  rate(latest.Counters["server/wal/fsyncs"], latest.DurNS),
+		Snapshots:     latest.Counters["server/wal/snapshots"],
+	}
+	if hs, ok := latest.Histograms["server/wal/group"]; ok {
+		w.GroupMean = hs.Mean
+	}
+	if hs, ok := latest.Histograms["server/wal/lag_ns"]; ok {
+		w.LagP99NS = hs.P99
+	}
+	return w
 }
 
 // shardOf extracts NNN from server/shard/NNN/<metric>.
@@ -277,6 +315,10 @@ func render(hist *obs.History, hd *healthDoc, base string, live bool) string {
 		latest.Gauges["server/conns/open"],
 		rate(latest.Counters["server/frames/in"], latest.DurNS),
 		rate(latest.Counters["server/frames/out"], latest.DurNS))
+	if w := walSummary(latest); w != nil {
+		fmt.Fprintf(&b, "  wal   %10.0f rec/s  %.0f fsync/s  group %.1f  ack lag p99 %s  snaps %d\n",
+			w.RecordsPerSec, w.FsyncsPerSec, w.GroupMean, ns(w.LagP99NS), w.Snapshots)
+	}
 
 	b.WriteString("\n  shard     ops/s   batch   queue\n")
 	for _, name := range sortedKeys(latest.Histograms) {

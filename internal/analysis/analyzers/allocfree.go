@@ -94,7 +94,10 @@ var allocfreeFuncs = map[string]map[string]bool{
 		"AppendUint16": true, "AppendUint32": true, "AppendUint64": true,
 	},
 	"errors": {"Is": true, "As": true, "Unwrap": true},
-	"io":     {"ReadFull": true, "ReadAtLeast": true},
+	// Checksum over a prebuilt table; MakeTable allocates and must run
+	// at package init, never on the hot path.
+	"hash/crc32": {"Checksum": true},
+	"io":         {"ReadFull": true, "ReadAtLeast": true},
 	"time": {
 		"Now": true, "Since": true, "Until": true, "Sub": true,
 		"Nanoseconds": true, "Microseconds": true, "Milliseconds": true,

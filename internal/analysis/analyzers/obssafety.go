@@ -56,6 +56,14 @@ import (
 //     HTTP handler would snapshot the whole registry (allocating,
 //     taking the registry mutex) on a request path; handlers read the
 //     rotator's cached verdict instead.
+//
+//   - The pinned combining window is storage-free: functions marked
+//     //pimvet:window run while a shard's combiner holds every waiter
+//     in its batch captive, so any call into os, syscall, io, bufio or
+//     io/fs there — a write, and above all an fsync — would serialize
+//     the whole shard behind the disk. Durability is the WAL writer
+//     goroutine's job: the window stages bytes into a buffer and hands
+//     them off; the writer owns the file.
 var ObsSafety = &analysis.Analyzer{
 	Name: "obssafety",
 	Doc:  "flags handler code whose simulated behaviour can depend on observability state",
@@ -73,6 +81,7 @@ func runObsSafety(pass *analysis.Pass) {
 	if underPath(pass.Path, serverPath) {
 		checkServerSpanAllocs(pass)
 		checkServerRotation(pass)
+		checkWindowIO(pass)
 		return
 	}
 	inSim := underPath(pass.Path, simPath)
@@ -192,6 +201,41 @@ func checkServerRotation(pass *analysis.Pass) {
 			case name == "Evaluate" && typeFromPkg(s.Recv(), healthPath, false):
 				pass.Reportf(sel.Sel.Pos(),
 					"health evaluation outside a //pimvet:rotator function; evaluation runs on the rotation tick only — handlers read the cached verdict")
+			}
+			return true
+		})
+	}
+}
+
+// windowIOPkgs are the standard-library packages whose every entry
+// point touches (or can touch) the filesystem or a file descriptor.
+// Inside the pinned combining window any of them is a latency cliff —
+// an fsync here stalls the combiner and, with it, every client pinned
+// to the batch.
+var windowIOPkgs = map[string]bool{
+	"os": true, "syscall": true, "io": true, "bufio": true, "io/fs": true,
+}
+
+// checkWindowIO enforces the combining window's storage-free contract:
+// functions marked //pimvet:window must not call into file-I/O
+// packages. The check is shallow per marked function — function
+// literals carry no mark and are only flagged if marked themselves —
+// because the window property is lexical: the marked function body IS
+// the stretch executed under the combiner's pin.
+func checkWindowIO(pass *analysis.Pass) {
+	marked, stray := markedFuncs(pass, analysis.KindWindow)
+	reportStray(pass, analysis.KindWindow, stray)
+	info := pass.TypesInfo
+	for _, m := range marked {
+		inspectShallow(m.body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if p := calleePkgPath(info, call); windowIOPkgs[p] {
+				pass.Reportf(call.Pos(),
+					"file I/O inside the pinned combining window (%s.%s); a //pimvet:window function runs while the combiner holds its batch captive — stage bytes into the WAL buffer and let the writer goroutine do the I/O",
+					p, pkgFunc(info, call).Name())
 			}
 			return true
 		})

@@ -19,3 +19,7 @@ func TestObsSafetyServerSpans(t *testing.T) {
 func TestObsSafetyServerRotation(t *testing.T) {
 	analysistest.Run(t, "testdata/src/obssafety_rotate", analyzers.ObsSafety, analysis.Options{})
 }
+
+func TestObsSafetyWindowIO(t *testing.T) {
+	analysistest.Run(t, "testdata/src/obssafety_window", analyzers.ObsSafety, analysis.Options{})
+}

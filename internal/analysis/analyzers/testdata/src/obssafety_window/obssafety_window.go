@@ -1,0 +1,71 @@
+// Fixture for the obssafety analyzer's storage-free combining-window
+// check: functions marked //pimvet:window must not call into the
+// file-I/O packages (os, syscall, io, bufio, io/fs) — durability
+// belongs to the WAL writer goroutine, not the pinned batch window.
+//
+//pimvet:package pimds/internal/server/fixture
+package fixture
+
+import (
+	"bufio"
+	"encoding/binary"
+	"os"
+)
+
+type shard struct {
+	buf []byte
+	f   *os.File
+	bw  *bufio.Writer
+}
+
+// stageBatch is the sanctioned shape: the window serializes into a
+// staging buffer and hands the bytes to the writer goroutine.
+//
+//pimvet:window
+func (sh *shard) stageBatch(keys []int64) {
+	for _, k := range keys {
+		sh.buf = binary.LittleEndian.AppendUint64(sh.buf, uint64(k))
+	}
+}
+
+// syncInline fsyncing inside the window serializes the whole shard
+// behind the disk: flagged.
+//
+//pimvet:window
+func (sh *shard) syncInline(keys []int64) {
+	sh.stageBatch(keys)
+	sh.f.Sync() // want `file I/O inside the pinned combining window \(os\.Sync\)`
+}
+
+// writeInline writing the record from the window, even buffered, still
+// reaches the file on flush: both calls flagged.
+//
+//pimvet:window
+func (sh *shard) writeInline() {
+	sh.bw.Write(sh.buf) // want `file I/O inside the pinned combining window \(bufio\.Write\)`
+	sh.bw.Flush()       // want `file I/O inside the pinned combining window \(bufio\.Flush\)`
+}
+
+// openInline touching the filesystem in the window: flagged.
+//
+//pimvet:window
+func (sh *shard) openInline(dir string) {
+	os.WriteFile(dir, sh.buf, 0o644) // want `file I/O inside the pinned combining window \(os\.WriteFile\)`
+}
+
+// writerLoop is not marked: the dedicated writer goroutine is exactly
+// where this I/O belongs, so nothing here is flagged.
+func (sh *shard) writerLoop(commits chan []byte) {
+	for b := range commits {
+		sh.bw.Write(b)
+		sh.bw.Flush()
+		sh.f.Sync()
+	}
+}
+
+// A window mark attached to nothing fails loudly instead of silently
+// guarding nothing. The diagnostic lands on the directive comment, so
+// the want clause shares its line.
+//
+//pimvet:window orphaned mark // want `/pimvet:window is not attached to a function declaration`
+var strayMark = 0

@@ -25,6 +25,7 @@ import (
 //	//pimvet:allocfree note
 //	//pimvet:nonblocking note
 //	//pimvet:rotator note
+//	//pimvet:window note
 //	    Function annotations, written in the doc comment of a function
 //	    declaration (or on the line directly above it). allocfree and
 //	    nonblocking declare a hot-path contract — no heap allocations /
@@ -32,8 +33,12 @@ import (
 //	    combinerpurity analyzers enforce. rotator declares the function
 //	    a sanctioned owner of metrics-window rotation and health
 //	    evaluation (a dedicated ticker goroutine); obssafety flags
-//	    rotation anywhere else in the server. The note is free-form and
-//	    optional.
+//	    rotation anywhere else in the server. window declares the
+//	    function part of the pinned combining window — the stretch
+//	    where a shard's combiner holds every waiter captive — and
+//	    obssafety forbids file I/O and fsync inside it (durability runs
+//	    on the WAL writer goroutine, never inline). The note is
+//	    free-form and optional.
 //
 // The analyzer list may be "all" to cover every analyzer. A comment
 // recognized as a directive must begin with //pimvet: (no leading
@@ -51,6 +56,7 @@ const (
 	KindAllocFree   = "allocfree"
 	KindNonBlocking = "nonblocking"
 	KindRotator     = "rotator"
+	KindWindow      = "window"
 )
 
 // Directive is one parsed //pimvet: comment.
@@ -142,7 +148,7 @@ func parseOne(chunk string, pos token.Position) Directive {
 		if len(d.Analyzers) == 0 {
 			return malformed()
 		}
-	case KindAllocFree, KindNonBlocking, KindRotator:
+	case KindAllocFree, KindNonBlocking, KindRotator, KindWindow:
 		d.Kind = verb
 		d.Arg = rest // optional free-form note
 	default:
@@ -181,10 +187,11 @@ func buildFileDirectives(fset *token.FileSet, file *ast.File) fileDirectives {
 			fd.lineAllows[d.Pos.Line] = append(fd.lineAllows[d.Pos.Line], d)
 		case KindAllowFile:
 			fd.fileAllows = append(fd.fileAllows, d)
-		case KindPackage, KindAllocFree, KindNonBlocking, KindRotator:
+		case KindPackage, KindAllocFree, KindNonBlocking, KindRotator, KindWindow:
 			// package: handled at load time.
-			// allocfree/nonblocking/rotator: function annotations,
-			// consumed by the analyzers through ParseDirectives.
+			// allocfree/nonblocking/rotator/window: function
+			// annotations, consumed by the analyzers through
+			// ParseDirectives.
 		default:
 			fd.malformed = append(fd.malformed, d)
 		}

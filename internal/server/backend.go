@@ -2,6 +2,7 @@ package server
 
 import (
 	"fmt"
+	"sort"
 
 	"pimds/internal/cds/seqhash"
 	"pimds/internal/cds/seqlist"
@@ -35,6 +36,45 @@ type backend interface {
 	// Len returns the element count (used at quiescence by tests and
 	// the metrics collector).
 	Len() int
+
+	SnapshotterBackend
+}
+
+// SnapshotterBackend is the serialization contract snapshots need from
+// every structure. AppendState appends a canonical dump — a fixed,
+// implementation-independent order (sets ascending, queue front→back,
+// stack bottom→top) so equal states always dump byte-identically, the
+// property the replay-determinism tests pin. RestoreState rebuilds the
+// structure from such a dump; both run outside the combining window
+// (snapshot dumps in combiner context between batches, restores before
+// the server accepts), so they may allocate freely.
+type SnapshotterBackend interface {
+	AppendState(dst []int64) []int64
+	RestoreState(vals []int64)
+}
+
+// restoreState rebuilds a backend from its canonical dump by replaying
+// synthetic unconditional-insert batches through the backend's own
+// ApplyBatch — the same code path recovery replays log records
+// through, so a restored structure is bit-for-bit what replaying the
+// inserts would build (skip towers included: they draw from the
+// seeded per-shard generator in insertion order either way).
+func restoreState(be backend, kind wire.OpKind, vals []int64) {
+	const chunk = 512
+	ops := make([]wire.Op, 0, chunk)
+	out := make([]wire.Result, chunk)
+	for len(vals) > 0 {
+		n := len(vals)
+		if n > chunk {
+			n = chunk
+		}
+		ops = ops[:0]
+		for _, v := range vals[:n] {
+			ops = append(ops, wire.Op{Kind: kind, Key: v})
+		}
+		be.ApplyBatch(ops, out[:n], nil)
+		vals = vals[n:]
+	}
 }
 
 // Structure names accepted by Config.Structure.
@@ -103,6 +143,7 @@ type listBackend struct {
 }
 
 //pimvet:allocfree //pimvet:nonblocking
+//pimvet:window
 func (b *listBackend) ApplyBatch(ops []wire.Op, out []wire.Result, arena []int64) []int64 {
 	b.ops = b.ops[:0]
 	ordered := false
@@ -138,6 +179,9 @@ func (b *listBackend) ApplyBatch(ops []wire.Op, out []wire.Result, arena []int64
 
 func (b *listBackend) Len() int { return b.l.Len() }
 
+func (b *listBackend) AppendState(dst []int64) []int64 { return append(dst, b.l.Keys()...) }
+func (b *listBackend) RestoreState(vals []int64)       { restoreState(b, wire.Add, vals) }
+
 // skipBackend serves set ops on a sequential skip-list, applying the
 // batch in publication order (any serialization of a concurrent batch
 // is linearizable). Adds allocate towers, so this backend is
@@ -150,6 +194,7 @@ type skipBackend struct {
 }
 
 //pimvet:nonblocking
+//pimvet:window
 func (b *skipBackend) ApplyBatch(ops []wire.Op, out []wire.Result, arena []int64) []int64 {
 	scans := false
 	for i, op := range ops {
@@ -189,6 +234,9 @@ func (b *skipBackend) ApplyBatch(ops []wire.Op, out []wire.Result, arena []int64
 
 func (b *skipBackend) Len() int { return b.l.Len() }
 
+func (b *skipBackend) AppendState(dst []int64) []int64 { return append(dst, b.l.Keys()...) }
+func (b *skipBackend) RestoreState(vals []int64)       { restoreState(b, wire.Add, vals) }
+
 // hashBackend serves set ops on a chained hash table (keys only; the
 // stored value mirrors the key). Puts allocate chain entries, so this
 // backend is nonblocking but not allocfree.
@@ -197,6 +245,7 @@ type hashBackend struct {
 }
 
 //pimvet:nonblocking
+//pimvet:window
 func (b *hashBackend) ApplyBatch(ops []wire.Op, out []wire.Result, arena []int64) []int64 {
 	for i, op := range ops {
 		var ok bool
@@ -215,6 +264,18 @@ func (b *hashBackend) ApplyBatch(ops []wire.Op, out []wire.Result, arena []int64
 
 func (b *hashBackend) Len() int { return b.t.Len() }
 
+// AppendState sorts the dump: the table iterates in bucket order,
+// which depends on table geometry, not on the abstract state.
+func (b *hashBackend) AppendState(dst []int64) []int64 {
+	start := len(dst)
+	dst = append(dst, b.t.Keys()...)
+	keys := dst[start:]
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return dst
+}
+
+func (b *hashBackend) RestoreState(vals []int64) { restoreState(b, wire.Add, vals) }
+
 // queueBackend is a FIFO queue over a growable ring buffer. Enqueue
 // always succeeds (OK=true); Dequeue reports OK=false on empty.
 type queueBackend struct {
@@ -223,6 +284,7 @@ type queueBackend struct {
 }
 
 //pimvet:allocfree //pimvet:nonblocking
+//pimvet:window
 func (b *queueBackend) ApplyBatch(ops []wire.Op, out []wire.Result, arena []int64) []int64 {
 	for i, op := range ops {
 		switch op.Kind {
@@ -261,6 +323,17 @@ func (b *queueBackend) pop() (int64, bool) {
 
 func (b *queueBackend) Len() int { return b.size }
 
+// AppendState dumps front→back, so restoring by Enqueue preserves FIFO
+// order.
+func (b *queueBackend) AppendState(dst []int64) []int64 {
+	for i := 0; i < b.size; i++ {
+		dst = append(dst, b.buf[(b.head+i)%len(b.buf)])
+	}
+	return dst
+}
+
+func (b *queueBackend) RestoreState(vals []int64) { restoreState(b, wire.Enqueue, vals) }
+
 // stackBackend is a LIFO stack over a slice. Pop reports OK=false on
 // empty. Pushes append into receiver storage: amortized growth to the
 // high-water depth, then allocation-free.
@@ -269,6 +342,7 @@ type stackBackend struct {
 }
 
 //pimvet:allocfree //pimvet:nonblocking
+//pimvet:window
 func (b *stackBackend) ApplyBatch(ops []wire.Op, out []wire.Result, arena []int64) []int64 {
 	for i, op := range ops {
 		switch op.Kind {
@@ -288,3 +362,8 @@ func (b *stackBackend) ApplyBatch(ops []wire.Op, out []wire.Result, arena []int6
 }
 
 func (b *stackBackend) Len() int { return len(b.vals) }
+
+// AppendState dumps bottom→top, so restoring by Push rebuilds the same
+// stack.
+func (b *stackBackend) AppendState(dst []int64) []int64 { return append(dst, b.vals...) }
+func (b *stackBackend) RestoreState(vals []int64)       { restoreState(b, wire.Push, vals) }

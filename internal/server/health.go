@@ -23,6 +23,7 @@ const defaultP99Budget = 250 * time.Millisecond
 //	queue-growth        per-shard queue depth growing monotonically
 //	combining-collapse  mean batch size degrading to one op per pass
 //	error-rate          rejected / total operations
+//	wal-lag             p99 apply-to-durable-ack lag of the WAL pipeline
 //
 // p99Budget ≤ 0 selects the default budget. Idle windows evaluate ok
 // on every rule — an unloaded server is healthy by definition.
@@ -54,6 +55,14 @@ func DefaultHealthRules(p99Budget time.Duration) []health.Rule {
 		health.ErrorRate{
 			RuleName: "error-rate", Err: "server/ops/rejected", Total: "server/ops/total",
 			Warn: 0.01, Fail: 0.10, MinOps: 100,
+		},
+		health.QuantileCeiling{
+			// Commit-pipeline lag: apply-to-durable-ack time per batch. A
+			// WAL writer that cannot keep up with the combiners shows here
+			// before it shows in op latency. Idle (and WAL-off, where the
+			// metric never observes) windows evaluate ok.
+			RuleName: "wal-lag", Metric: "server/wal/lag_ns", Quantile: 0.99,
+			Warn: 50 * time.Millisecond, Fail: 500 * time.Millisecond, MinCount: 50,
 		},
 	}
 }
@@ -126,6 +135,13 @@ func (s *Server) Health() HealthStatus {
 	}
 	if h.Rules == nil {
 		h.Rules = []health.RuleResult{}
+	}
+	if s.recovering.Load() {
+		// WAL replay in progress: the data listener is not accepting yet
+		// and the structures are mid-rebuild. Mirrors draining — a
+		// distinct status string, not ready, 503 at the ops endpoint.
+		h.Status = "recovering"
+		h.Ready = false
 	}
 	if s.draining.Load() {
 		h.Status = "draining"

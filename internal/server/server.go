@@ -33,6 +33,7 @@ import (
 
 	"pimds/internal/obs"
 	"pimds/internal/obs/health"
+	"pimds/internal/wal"
 	"pimds/internal/wire"
 )
 
@@ -123,6 +124,25 @@ type Config struct {
 	// Log, when non-nil, records every applied operation for
 	// linearizability checking (testing/auditing only).
 	Log *OpLog
+
+	// WALDir enables durability: every combiner batch's mutating ops
+	// are staged as one write-ahead-log record inside the combining
+	// window, and the batch's acks are released only after the record
+	// is durable under the Fsync policy. On start the server restores
+	// the newest snapshot in the directory, replays the log tail, and
+	// holds /healthz at "recovering" until done. Empty disables the
+	// WAL entirely.
+	WALDir string
+
+	// Fsync selects when WAL records reach stable storage:
+	// FsyncAlways (per record), FsyncBatch (per writer pass — the
+	// default), or FsyncOff (kernel only). Meaningful only with WALDir.
+	Fsync string
+
+	// SnapshotEvery, when positive, takes a periodic snapshot of every
+	// shard's state and truncates the log behind it. Zero snapshots
+	// only at clean shutdown. Meaningful only with WALDir.
+	SnapshotEvery time.Duration
 }
 
 // withDefaults fills zero fields.
@@ -144,6 +164,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Seed == 0 {
 		c.Seed = 1
+	}
+	if c.Fsync == "" {
+		c.Fsync = FsyncBatch
 	}
 	return c
 }
@@ -223,6 +246,11 @@ type Server struct {
 	shutdown  sync.Once
 	connSeq   atomic.Int64
 
+	// durability (nil/false when Config.WALDir is empty)
+	wal        *walState
+	walOnce    sync.Once
+	recovering atomic.Bool
+
 	// windowed metrics + health (nil/idle when Config.WindowTick is 0)
 	win        *obs.Window
 	eng        *health.Engine
@@ -258,6 +286,13 @@ type shard struct {
 	ops     []wire.Op
 	results []wire.Result
 	arena   []int64
+
+	// durability (combiner goroutine only, except walFree's recycling
+	// side; all nil/zero when the WAL is off)
+	walSeq  uint64          // sequence of the last staged record
+	stage   *walCommit      // commit being filled by the current pass
+	walFree chan *walCommit // recycled commits, the staging backpressure
+	ctl     chan func()     // combiner-context control (snapshot dumps)
 
 	batchSize  *obs.Histogram
 	queueDepth *obs.Gauge
@@ -297,6 +332,16 @@ func New(cfg Config) (*Server, error) {
 		opLatency:  cfg.Reg.Histogram("server/op_latency_ns"),
 	}
 	s.tr = newTracer(cfg, s.epoch)
+	if cfg.WALDir != "" {
+		w, err := newWALState(cfg)
+		if err != nil {
+			return nil, err
+		}
+		s.wal = w
+		// Not ready until Serve's recovery pass completes: /healthz
+		// reports "recovering" (503) from the very first scrape.
+		s.recovering.Store(true)
+	}
 	for i := 0; i < cfg.Shards; i++ {
 		be, err := newBackend(cfg.Structure, i, cfg.Seed)
 		if err != nil {
@@ -313,6 +358,18 @@ func New(cfg Config) (*Server, error) {
 			queueDepth: cfg.Reg.Gauge(fmt.Sprintf("server/shard/%03d/queue_depth", i)),
 			combines:   cfg.Reg.Counter(fmt.Sprintf("server/shard/%03d/combines", i)),
 			scanBatch:  cfg.Reg.Histogram(fmt.Sprintf("server/shard/%03d/scan_batch", i)),
+		}
+		if s.wal != nil {
+			sh.ctl = make(chan func())
+			sh.walFree = make(chan *walCommit, walCommitsPerShard)
+			for j := 0; j < walCommitsPerShard; j++ {
+				sh.walFree <- &walCommit{
+					sh:      sh,
+					buf:     make([]byte, 0, wal.RecordCap(cfg.BatchMax)),
+					batch:   make([]pendingOp, 0, cfg.BatchMax),
+					results: make([]wire.Result, 0, cfg.BatchMax),
+				}
+			}
 		}
 		s.shards = append(s.shards, sh)
 		s.shardWG.Add(1)
@@ -369,6 +426,13 @@ func (s *Server) Serve(ln net.Listener) error {
 		ln.Close()
 		<-s.drainDone
 		return nil
+	}
+	// Recover before the first Accept: no client can connect — and so
+	// no op can be published — until the restored state and the log
+	// tail agree. /healthz (on the ops listener) serves "recovering"
+	// meanwhile.
+	if err := s.recoverWAL(); err != nil {
+		return err
 	}
 	for {
 		nc, err := ln.Accept()
@@ -542,7 +606,22 @@ func (s *Server) combineLoop(sh *shard) {
 		sh.batch = append(sh.batch, p)
 	}
 	for {
-		p, ok := <-sh.in
+		var p pendingOp
+		var ok bool
+		if sh.ctl == nil {
+			p, ok = <-sh.in
+		} else {
+			// Durability adds one combiner-context control channel: the
+			// snapshot scheduler borrows the combiner between batches to
+			// dump the shard's state at a consistent point in its serial
+			// order.
+			select {
+			case p, ok = <-sh.in:
+			case f := <-sh.ctl:
+				f()
+				continue
+			}
+		}
 		if !ok {
 			return
 		}
@@ -576,7 +655,16 @@ func (s *Server) combineLoop(sh *shard) {
 			}
 			timer.Stop()
 		}
+		var cm *walCommit
+		if s.wal != nil {
+			// Acquire the staging commit before the pinned window fills
+			// it. Blocking here — the writer holds both of the shard's
+			// commits — is the WAL's backpressure, upstream of the window.
+			cm = <-sh.walFree
+			sh.stage = cm
+		}
 		end := s.applyBatch(sh, traced)
+		sh.stage = nil
 
 		// Scan results reference segments of the shard's arena, which
 		// the next pass truncates and refills; copy them out here — in
@@ -600,6 +688,14 @@ func (s *Server) combineLoop(sh *shard) {
 		sh.batchSize.Observe(int64(len(sh.batch)))
 		sh.queueDepth.Set(int64(len(sh.in)))
 		s.opsTotal.Add(uint64(len(sh.batch)))
+		if cm != nil {
+			// Durable path: the WAL writer releases the acks once the
+			// staged record is on disk. Every batch rides the pipeline —
+			// even one that staged nothing — so an ack for a read that
+			// observed a write always follows that write's sync.
+			s.commit(sh, cm, end)
+			continue
+		}
 		for i := range sh.batch {
 			p := &sh.batch[i]
 			s.opLatency.Observe(end - p.start)
@@ -621,6 +717,7 @@ func (s *Server) combineLoop(sh *shard) {
 // goroutine; channel hand-offs stay in combineLoop on either side.
 //
 //pimvet:allocfree //pimvet:nonblocking
+//pimvet:window
 func (s *Server) applyBatch(sh *shard, traced bool) int64 {
 	if traced {
 		tApply := s.now()
@@ -636,6 +733,13 @@ func (s *Server) applyBatch(sh *shard, traced bool) int64 {
 	}
 	sh.results = sh.results[:len(sh.batch)]
 	sh.arena = sh.be.ApplyBatch(sh.ops, sh.results, sh.arena[:0])
+	if sh.stage != nil {
+		// Durability stages here, inside the window, but only as bytes
+		// in a preallocated buffer: the file write and fsync belong to
+		// the WAL writer goroutine (pimvet's window check enforces the
+		// split).
+		sh.stageRecord()
+	}
 	return s.now()
 }
 
@@ -780,15 +884,39 @@ func (s *Server) Shutdown() {
 			c.nc.SetReadDeadline(time.Now())
 		}
 		s.readers.Wait()
+		// Stop the snapshot scheduler before the combiners: its dumps
+		// borrow combiner context and its segment rolls ride the WAL
+		// writer, so both peers must outlive it.
+		s.mu.Lock()
+		w := s.wal
+		started := w != nil && w.started
+		s.mu.Unlock()
+		if started && w.snapStop != nil {
+			close(w.snapStop)
+			<-w.snapDone
+		}
 		// No more producers: close the publication queues, let the
 		// combiners drain them dry.
 		for _, sh := range s.shards {
 			close(sh.in)
 		}
 		s.shardWG.Wait()
+		// The combiners handed their last batches to the WAL writer;
+		// close the commit pipeline and wait for the final sync — only
+		// then has every op been acked and every conn's inflight count
+		// reached zero.
+		if started {
+			close(w.commits)
+			<-w.writerDone
+		}
 		// Every inflight op is delivered, so each conn's teardown
 		// closes its out queue and its writer flushes and exits.
 		s.writers.Wait()
+		// Quiescent now: capture the drained state so the next start
+		// restores a snapshot instead of replaying the whole log.
+		if started {
+			s.finalSnapshot()
+		}
 		// Stop window rotation last: /healthz and /metrics/history stay
 		// scrape-safe for the whole drain (reporting "draining"), and no
 		// rotation can race the registry once drainDone closes.

@@ -1,0 +1,438 @@
+package server
+
+// This file is the durability side of the server: the WAL commit
+// pipeline, periodic snapshots, and recovery. The design extends the
+// paper's flat-combining argument to storage — the combiner already
+// applies whole batches, so one log record and (in the default policy)
+// one fsync cover every op the batch acknowledged: group commit falls
+// out of the combining structure instead of needing its own batching
+// timer.
+//
+// Ordering is the subtle part. Acks are released by a single WAL
+// writer goroutine in combiner order, and *every* batch — including
+// read-only ones that produce no record — rides the same FIFO. A read
+// that observed a write therefore cannot be acknowledged before that
+// write is durable; without this, a crash between the read's ack and
+// the write's fsync would recover a state the already-acknowledged
+// read contradicts, and the replayed history would not linearize.
+//
+//pimvet:allow-file determinism: the snapshot ticker and ack-latency stamps run on host wall-clock time by design; nothing here feeds back into simulated behaviour
+
+import (
+	"fmt"
+	"time"
+
+	"pimds/internal/obs"
+	"pimds/internal/wal"
+	"pimds/internal/wal/snapshot"
+	"pimds/internal/wire"
+)
+
+// Fsync policies accepted by Config.Fsync.
+const (
+	// FsyncAlways forces every record to disk before its batch is
+	// acknowledged: one fsync per combiner batch.
+	FsyncAlways = "always"
+	// FsyncBatch (the default) forces once per writer pass: the writer
+	// greedily gathers every commit the combiners have produced, appends
+	// their records, and fsyncs the group together — group commit on top
+	// of group commit.
+	FsyncBatch = "batch"
+	// FsyncOff flushes records to the kernel but never fsyncs; a process
+	// crash loses nothing, a machine crash can lose the tail.
+	FsyncOff = "off"
+)
+
+// walCommitsPerShard is each shard's staging depth: one commit being
+// filled by the combiner while one drains through the writer. A shard
+// whose writer falls further behind blocks on its free list — the same
+// structural backpressure the publication queues apply.
+const walCommitsPerShard = 2
+
+// walCommit carries one combiner batch through the commit pipeline:
+// the staged record bytes plus everything the writer needs to release
+// the batch's acks once those bytes are durable. A commit with a nil
+// shard is a control item — fn runs on the writer after everything
+// before it is synced and acked (snapshots use this to roll segments
+// at a known point in the commit order).
+type walCommit struct {
+	sh      *shard
+	buf     []byte        // staged record; empty when the batch mutated nothing
+	batch   []pendingOp   // the batch, copied out of the shard's scratch
+	results []wire.Result // matching results (scan values already copied out)
+	end     int64         // apply-completion stamp
+	fn      func()        // control item body (sh == nil)
+}
+
+// walState is the server's durability pipeline.
+type walState struct {
+	dir    string
+	always bool // fsync per record
+	off    bool // never fsync
+
+	log     *wal.Log        // writer goroutine only (after recovery)
+	commits chan *walCommit // combiners → writer, FIFO across shards
+	ackq    []*walCommit    // writer-local: appended but not yet synced+acked
+
+	started    bool // writer goroutine launched (guarded by Server.mu)
+	writerDone chan struct{}
+	snapStop   chan struct{}
+	snapDone   chan struct{}
+
+	records  *obs.Counter
+	bytes    *obs.Counter
+	fsyncs   *obs.Counter
+	snaps    *obs.Counter
+	replayed *obs.Counter
+	restored *obs.Counter
+	lag      *obs.Histogram
+	group    *obs.Histogram
+}
+
+// newWALState validates the durability config and builds the pipeline
+// skeleton; the log itself is opened during recovery.
+func newWALState(cfg Config) (*walState, error) {
+	w := &walState{
+		dir:     cfg.WALDir,
+		commits: make(chan *walCommit, walCommitsPerShard*cfg.Shards+4),
+
+		records:  cfg.Reg.Counter("server/wal/records"),
+		bytes:    cfg.Reg.Counter("server/wal/bytes"),
+		fsyncs:   cfg.Reg.Counter("server/wal/fsyncs"),
+		snaps:    cfg.Reg.Counter("server/wal/snapshots"),
+		replayed: cfg.Reg.Counter("server/wal/replayed_ops"),
+		restored: cfg.Reg.Counter("server/wal/restored_keys"),
+		lag:      cfg.Reg.Histogram("server/wal/lag_ns"),
+		group:    cfg.Reg.Histogram("server/wal/group"),
+	}
+	switch cfg.Fsync {
+	case FsyncAlways:
+		w.always = true
+	case FsyncBatch:
+	case FsyncOff:
+		w.off = true
+	default:
+		return nil, fmt.Errorf("server: unknown fsync policy %q (want %s|%s|%s)",
+			cfg.Fsync, FsyncAlways, FsyncBatch, FsyncOff)
+	}
+	return w, nil
+}
+
+// stageRecord fills the acquired commit's record inside the combining
+// window: header, then every mutating op in batch order, then the CRC
+// seal. Read-only batches seal to an empty record — nothing to log,
+// but the commit still rides the pipeline so its acks stay ordered
+// after earlier durable writes. Part of the pinned window: stages
+// bytes only, never touches a file.
+//
+//pimvet:allocfree //pimvet:nonblocking
+//pimvet:window
+func (sh *shard) stageRecord() {
+	cm := sh.stage
+	cm.buf = wal.BeginRecord(cm.buf[:0], uint16(sh.idx), sh.walSeq+1)
+	n := 0
+	for i := range sh.ops {
+		if sh.ops[i].Kind.Mutating() {
+			cm.buf = wire.AppendOp(cm.buf, sh.ops[i])
+			n++
+		}
+	}
+	cm.buf = wal.FinishRecord(cm.buf, n)
+	if n > 0 {
+		sh.walSeq++
+	}
+}
+
+// commit hands the finished batch to the WAL writer, which will
+// release the acks once the record is durable. The copies detach the
+// batch from the shard's scratch, which the next combine pass reuses.
+func (s *Server) commit(sh *shard, cm *walCommit, end int64) {
+	cm.end = end
+	cm.batch = append(cm.batch[:0], sh.batch...)
+	cm.results = append(cm.results[:0], sh.results...)
+	s.wal.commits <- cm
+}
+
+// walWriter is the dedicated writer goroutine: it gathers commits
+// greedily (mirroring the combiners' own gather loop), appends their
+// records through one buffered file, makes the group durable according
+// to the fsync policy, and only then releases each batch's acks and
+// recycles the commit to its shard's free list.
+func (s *Server) walWriter() {
+	w := s.wal
+	defer close(w.writerDone)
+	for {
+		cm, ok := <-w.commits
+		if !ok {
+			return
+		}
+		group := s.walAdmit(cm)
+	gather:
+		for {
+			select {
+			case cm, ok := <-w.commits:
+				if !ok {
+					s.walRelease(group)
+					return
+				}
+				group += s.walAdmit(cm)
+			default:
+				break gather
+			}
+		}
+		s.walRelease(group)
+	}
+}
+
+// walAdmit appends one commit's record (if any) and queues its acks;
+// control items first retire everything pending, then run. Returns the
+// number of records this commit added to the unsynced group. In
+// FsyncAlways mode each admit retires immediately.
+func (s *Server) walAdmit(cm *walCommit) int {
+	w := s.wal
+	if cm.fn != nil {
+		s.walRelease(0)
+		cm.fn()
+		return 0
+	}
+	group := 0
+	if len(cm.buf) > 0 {
+		if err := w.log.Append(cm.buf); err != nil {
+			// Durability is the contract; a log the server cannot append
+			// to means every future ack would be a lie. Fail stop.
+			panic(fmt.Sprintf("server: wal append: %v", err))
+		}
+		w.records.Inc()
+		w.bytes.Add(uint64(len(cm.buf)))
+		group = 1
+	}
+	w.ackq = append(w.ackq, cm)
+	if w.always {
+		s.walRelease(group)
+		return 0
+	}
+	return group
+}
+
+// walRelease makes the group's records durable and releases every
+// queued ack. group == 0 (only read-only batches pending) skips the
+// sync: nothing new was appended, and everything those reads observed
+// was covered by an earlier sync in the FIFO.
+func (s *Server) walRelease(group int) {
+	w := s.wal
+	if group > 0 {
+		if err := w.log.Sync(); err != nil {
+			panic(fmt.Sprintf("server: wal sync: %v", err))
+		}
+		if !w.off {
+			w.fsyncs.Inc()
+		}
+		w.group.Observe(int64(group))
+	}
+	if len(w.ackq) == 0 {
+		return
+	}
+	tAck := s.now()
+	for _, cm := range w.ackq {
+		for i := range cm.batch {
+			p := &cm.batch[i]
+			s.opLatency.Observe(tAck - p.start)
+			if p.sp != nil {
+				p.sp.applied = cm.end
+			}
+			p.conn.deliver(delivery{res: cm.results[i], sp: p.sp})
+			p.conn.inflight.Done()
+		}
+		w.lag.Observe(tAck - cm.end)
+		cm.sh.walFree <- cm
+	}
+	w.ackq = w.ackq[:0]
+}
+
+// recoverWAL rebuilds state from the newest valid snapshot plus the
+// log tail, opens the log for appending, and starts the writer (and
+// the snapshot scheduler, when configured). Serve calls it before
+// accepting connections; /healthz reports "recovering" (503, not
+// ready) from New until it completes.
+func (s *Server) recoverWAL() error {
+	if s.wal == nil {
+		return nil
+	}
+	var err error
+	s.walOnce.Do(func() { err = s.doRecover() })
+	return err
+}
+
+func (s *Server) doRecover() error {
+	w := s.wal
+
+	// Restore the newest valid snapshot: each shard's canonical dump
+	// plus the per-shard WAL sequence number that dump includes.
+	doc, snapSeg, haveSnap, err := snapshot.Latest(w.dir)
+	if err != nil {
+		return err
+	}
+	from := uint64(0)
+	snapSeqs := make([]uint64, len(s.shards))
+	if haveSnap {
+		if len(doc.Shards) != len(s.shards) {
+			return fmt.Errorf("server: snapshot in %s captures %d shards, server configured with %d",
+				w.dir, len(doc.Shards), len(s.shards))
+		}
+		for i, sh := range s.shards {
+			sh.be.RestoreState(doc.Shards[i].State)
+			sh.walSeq = doc.Shards[i].Seq
+			snapSeqs[i] = doc.Shards[i].Seq
+			w.restored.Add(uint64(len(doc.Shards[i].State)))
+		}
+		from = snapSeg
+	}
+
+	// Replay the log tail. Records already folded into the snapshot
+	// (seq ≤ the snapshot's per-shard sequence) are skipped — the
+	// snapshot rolled to a fresh segment first, so only records in that
+	// boundary segment can be duplicates. Replay itself truncates a
+	// torn or corrupt tail.
+	var out []wire.Result
+	res, err := wal.Replay(w.dir, from, func(rec wal.Record) error {
+		if int(rec.Shard) >= len(s.shards) {
+			return fmt.Errorf("server: wal record for shard %d, server configured with %d shards",
+				rec.Shard, len(s.shards))
+		}
+		sh := s.shards[rec.Shard]
+		if rec.Seq <= snapSeqs[rec.Shard] {
+			return nil
+		}
+		if rec.Seq != sh.walSeq+1 {
+			return fmt.Errorf("server: wal shard %d sequence gap: have %d, next record is %d",
+				rec.Shard, sh.walSeq, rec.Seq)
+		}
+		if cap(out) < len(rec.Ops) {
+			out = make([]wire.Result, len(rec.Ops))
+		}
+		sh.arena = sh.be.ApplyBatch(rec.Ops, out[:len(rec.Ops)], sh.arena[:0])
+		sh.walSeq = rec.Seq
+		w.replayed.Add(uint64(len(rec.Ops)))
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+
+	log, err := wal.Open(w.dir, res.NextSeg, !w.off)
+	if err != nil {
+		return err
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining.Load() {
+		// Shutdown won the race; the pipeline must not start.
+		log.Close()
+		return nil
+	}
+	w.log = log
+	w.started = true
+	w.writerDone = make(chan struct{})
+	go s.walWriter()
+	if s.cfg.SnapshotEvery > 0 {
+		w.snapStop = make(chan struct{})
+		w.snapDone = make(chan struct{})
+		go s.snapLoop(s.cfg.SnapshotEvery)
+	}
+	s.recovering.Store(false)
+	return nil
+}
+
+// snapLoop takes a snapshot every interval. It stops before the
+// combiners do (Shutdown order), so its hand-offs to them and to the
+// writer always have a live peer.
+func (s *Server) snapLoop(interval time.Duration) {
+	w := s.wal
+	defer close(w.snapDone)
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-w.snapStop:
+			return
+		case <-t.C:
+			if err := s.snapshotOnce(); err != nil {
+				// A failed snapshot costs replay time, not correctness:
+				// the log is still intact and still authoritative. Skip
+				// the prune and try again next tick.
+				continue
+			}
+		}
+	}
+}
+
+// snapshotOnce rolls the log to a fresh segment, captures every
+// shard's state in its own combiner (so each dump is a consistent
+// point in that shard's serial order), writes the snapshot atomically,
+// and prunes the log and snapshots it supersedes.
+//
+// Correctness of the truncation: the roll happens on the writer, in
+// commit order, *before* the dumps are taken — so every record in a
+// closed segment has seq ≤ the dump's sequence number for its shard
+// and is covered by the snapshot. Records racing into the new boundary
+// segment while the dumps are taken may or may not be covered; replay
+// resolves this per record by comparing seq against the snapshot's,
+// which is why duplicates in the boundary segment are harmless.
+func (s *Server) snapshotOnce() error {
+	w := s.wal
+
+	rolled := make(chan uint64, 1)
+	w.commits <- &walCommit{fn: func() {
+		if err := w.log.Roll(); err != nil {
+			panic(fmt.Sprintf("server: wal roll: %v", err))
+		}
+		rolled <- w.log.Seg()
+	}}
+	newSeg := <-rolled
+
+	doc := &snapshot.Doc{Shards: make([]snapshot.Shard, len(s.shards))}
+	for i, sh := range s.shards {
+		i, sh := i, sh
+		done := make(chan struct{})
+		sh.ctl <- func() {
+			doc.Shards[i] = snapshot.Shard{Seq: sh.walSeq, State: sh.be.AppendState(nil)}
+			close(done)
+		}
+		<-done
+	}
+
+	if err := snapshot.Write(w.dir, newSeg, doc); err != nil {
+		return err
+	}
+	w.snaps.Inc()
+	if err := wal.Prune(w.dir, newSeg); err != nil {
+		return err
+	}
+	return snapshot.Prune(w.dir, newSeg)
+}
+
+// finalSnapshot runs at quiescence, after the combiners and the WAL
+// writer have exited: it captures the drained state directly, making
+// the next start's recovery a pure snapshot restore with an empty log
+// tail. Errors are swallowed — a missed final snapshot just means the
+// next start replays the log instead.
+func (s *Server) finalSnapshot() {
+	w := s.wal
+	defer w.log.Close()
+	if err := w.log.Roll(); err != nil {
+		return
+	}
+	doc := &snapshot.Doc{Shards: make([]snapshot.Shard, len(s.shards))}
+	for i, sh := range s.shards {
+		doc.Shards[i] = snapshot.Shard{Seq: sh.walSeq, State: sh.be.AppendState(nil)}
+	}
+	newSeg := w.log.Seg()
+	if err := snapshot.Write(w.dir, newSeg, doc); err != nil {
+		return
+	}
+	w.snaps.Inc()
+	if wal.Prune(w.dir, newSeg) == nil {
+		snapshot.Prune(w.dir, newSeg)
+	}
+}

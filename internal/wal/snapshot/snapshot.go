@@ -1,0 +1,225 @@
+// Package snapshot serializes a server's full structure state so the
+// WAL can be truncated: a snapshot at segment boundary N captures, for
+// every shard, a canonical state dump plus the WAL sequence number that
+// state includes. Recovery restores the newest valid snapshot, then
+// replays only log records with seq beyond it.
+//
+// Document layout (little-endian):
+//
+//	magic "PIMSNAP1" (8) | uint32 crc | uint32 len | payload
+//	payload:
+//	    uint16 nshards
+//	    per shard: uint64 seq | uint32 nvals | nvals × int64
+//
+// Writes are atomic: the document goes to a temp file, is fsynced,
+// renamed into place (snap-%08d.snap), and the directory entry is
+// fsynced. A torn snapshot therefore never exists under its final
+// name, and Latest additionally CRC-checks and falls back to older
+// snapshots, so a bad newest snapshot degrades to a longer replay, not
+// a failed recovery.
+package snapshot
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+const magic = "PIMSNAP1"
+
+// ErrCorrupt marks a snapshot document that fails its magic, CRC, or
+// structural checks.
+var ErrCorrupt = errors.New("snapshot: corrupt document")
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// Shard is one shard's captured state.
+type Shard struct {
+	// Seq is the per-shard WAL sequence number the state includes:
+	// replay skips records with seq ≤ Seq.
+	Seq uint64
+	// State is the backend's canonical dump (AppendState order).
+	State []int64
+}
+
+// Doc is a whole-server snapshot.
+type Doc struct {
+	Shards []Shard
+}
+
+// Append encodes doc and returns the extended buffer. Encoding is
+// canonical: equal docs encode byte-identically, which the replay
+// determinism tests rely on.
+func Append(buf []byte, doc *Doc) []byte {
+	start := len(buf)
+	buf = append(buf, magic...)
+	buf = append(buf, 0, 0, 0, 0, 0, 0, 0, 0) // crc + len, patched below
+	body := len(buf)
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(doc.Shards)))
+	for _, sh := range doc.Shards {
+		buf = binary.LittleEndian.AppendUint64(buf, sh.Seq)
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(sh.State)))
+		for _, v := range sh.State {
+			buf = binary.LittleEndian.AppendUint64(buf, uint64(v))
+		}
+	}
+	payload := buf[body:]
+	binary.LittleEndian.PutUint32(buf[start+len(magic):], crc32.Checksum(payload, crcTable))
+	binary.LittleEndian.PutUint32(buf[start+len(magic)+4:], uint32(len(payload)))
+	return buf
+}
+
+// Decode parses one snapshot document.
+func Decode(b []byte) (*Doc, error) {
+	head := len(magic) + 8
+	if len(b) < head || string(b[:len(magic)]) != magic {
+		return nil, ErrCorrupt
+	}
+	crc := binary.LittleEndian.Uint32(b[len(magic):])
+	n := int(binary.LittleEndian.Uint32(b[len(magic)+4:]))
+	if n < 2 || len(b) != head+n {
+		return nil, ErrCorrupt
+	}
+	payload := b[head:]
+	if crc32.Checksum(payload, crcTable) != crc {
+		return nil, ErrCorrupt
+	}
+	nshards := int(binary.LittleEndian.Uint16(payload))
+	payload = payload[2:]
+	doc := &Doc{Shards: make([]Shard, nshards)}
+	for i := 0; i < nshards; i++ {
+		if len(payload) < 12 {
+			return nil, ErrCorrupt
+		}
+		seq := binary.LittleEndian.Uint64(payload)
+		nvals := int(binary.LittleEndian.Uint32(payload[8:]))
+		payload = payload[12:]
+		if len(payload) < 8*nvals {
+			return nil, ErrCorrupt
+		}
+		vals := make([]int64, nvals)
+		for j := range vals {
+			vals[j] = int64(binary.LittleEndian.Uint64(payload[8*j:]))
+		}
+		payload = payload[8*nvals:]
+		doc.Shards[i] = Shard{Seq: seq, State: vals}
+	}
+	if len(payload) != 0 {
+		return nil, ErrCorrupt
+	}
+	return doc, nil
+}
+
+// Name returns the file name of the snapshot taken at WAL segment
+// boundary seg.
+func Name(seg uint64) string { return fmt.Sprintf("snap-%08d.snap", seg) }
+
+// parseName inverts Name; round-tripping rejects non-canonical names.
+func parseName(name string) (uint64, bool) {
+	var n uint64
+	c, err := fmt.Sscanf(name, "snap-%d.snap", &n)
+	if err == nil && c == 1 && name == Name(n) {
+		return n, true
+	}
+	return 0, false
+}
+
+// Write atomically persists doc as the snapshot for segment boundary
+// seg: temp file, fsync, rename, directory fsync.
+func Write(dir string, seg uint64, doc *Doc) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(dir, "snap-*.tmp")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op once renamed
+	buf := Append(nil, doc)
+	if _, err := tmp.Write(buf); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp.Name(), filepath.Join(dir, Name(seg))); err != nil {
+		return err
+	}
+	return syncDir(dir)
+}
+
+// Latest loads the newest valid snapshot in dir, returning its doc,
+// its segment boundary, and whether one exists. Corrupt snapshots are
+// skipped in favor of older ones — recovery then replays a longer log
+// tail instead of failing.
+func Latest(dir string) (*Doc, uint64, bool, error) {
+	ents, err := os.ReadDir(dir)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, 0, false, nil
+	}
+	if err != nil {
+		return nil, 0, false, err
+	}
+	var segs []uint64
+	for _, e := range ents {
+		if n, ok := parseName(e.Name()); ok && !e.IsDir() {
+			segs = append(segs, n)
+		}
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i] > segs[j] })
+	for _, seg := range segs {
+		b, err := os.ReadFile(filepath.Join(dir, Name(seg)))
+		if err != nil {
+			return nil, 0, false, err
+		}
+		doc, err := Decode(b)
+		if err != nil {
+			continue
+		}
+		return doc, seg, true, nil
+	}
+	return nil, 0, false, nil
+}
+
+// Prune removes every snapshot for a segment boundary < below; the
+// snapshot at `below` supersedes them.
+func Prune(dir string, below uint64) error {
+	ents, err := os.ReadDir(dir)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	for _, e := range ents {
+		if n, ok := parseName(e.Name()); ok && n < below {
+			if err := os.Remove(filepath.Join(dir, e.Name())); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// syncDir fsyncs a directory so the rename that published a snapshot
+// survives power loss.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

@@ -1,0 +1,400 @@
+// Package wal is the write-ahead log behind pimserve's durability. It
+// applies the paper's flat-combining insight to storage: the per-shard
+// combiner already applies whole batches, so one log record — and in
+// the default policy, one fsync — covers an entire batch of acked ops.
+// Group commit falls out of the combining structure for free.
+//
+// The log is a directory of append-only segment files (wal-%08d.log).
+// Each record frames one combiner batch:
+//
+//	uint32 length  payload bytes after this 8-byte record header
+//	uint32 crc     CRC-32C (Castagnoli) of the payload
+//	payload:
+//	    uint16 shard | uint64 seq | uint16 count | count × wire.OpRecordSize
+//
+// seq is a per-shard, contiguous record sequence number starting at 1;
+// snapshots cite it so replay can skip records already folded into a
+// restored state. Ops reuse the canonical 27-byte wire encoding
+// (wire.AppendOp), and only mutating kinds are logged.
+//
+// Records are staged in two halves so the server can fill one inside
+// the pinned combining window without allocating or touching a file:
+// BeginRecord reserves the header, wire.AppendOp appends each op, and
+// FinishRecord patches the count and seals the CRC. The actual write
+// and fsync happen later, on the WAL writer goroutine.
+//
+// Decoding is strict, mirroring internal/wire: every accepted record
+// re-encodes byte-identically, and recovery distinguishes a torn tail
+// (ErrTorn — the crash cut the stream mid-record; truncate and carry
+// on) from structural corruption (ErrCorrupt — CRC or shape violation;
+// also a stopping point, never skipped over).
+package wal
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"pimds/internal/wire"
+)
+
+// Record framing constants.
+const (
+	recHeaderSize = 4 + 4     // length, crc
+	payloadHead   = 2 + 8 + 2 // shard, seq, count
+
+	// MaxRecordPayload bounds one record's payload: a record carries at
+	// most one frame's worth of ops, like the wire protocol it borrows
+	// its op encoding from.
+	MaxRecordPayload = payloadHead + wire.MaxOpsPerFrame*wire.OpRecordSize
+)
+
+// RecordCap returns the buffer capacity needed to stage one record of
+// up to maxOps ops; the server preallocates staging buffers with it.
+func RecordCap(maxOps int) int {
+	return recHeaderSize + payloadHead + maxOps*wire.OpRecordSize
+}
+
+// Decode errors. Replay treats both as "the log ends here": ErrTorn is
+// the expected shape of a crash (the tail was cut mid-record), while
+// ErrCorrupt means a structurally complete record contradicts itself.
+var (
+	ErrTorn    = errors.New("wal: torn record (truncated tail)")
+	ErrCorrupt = errors.New("wal: corrupt record")
+)
+
+// crcTable is the Castagnoli polynomial, built once at init so the
+// checksum call inside the pinned combining window never takes the
+// lazy-initialization path.
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// BeginRecord starts staging one record into buf (normally buf[:0] of
+// a preallocated arena): it reserves the record header and writes the
+// shard and sequence fields, leaving length, crc and count as
+// placeholders for FinishRecord. Zero-alloc when buf has capacity.
+//
+//pimvet:allocfree //pimvet:nonblocking
+func BeginRecord(buf []byte, shard uint16, seq uint64) []byte {
+	buf = append(buf, 0, 0, 0, 0, 0, 0, 0, 0) // length + crc, patched by FinishRecord
+	buf = binary.LittleEndian.AppendUint16(buf, shard)
+	buf = binary.LittleEndian.AppendUint64(buf, seq)
+	buf = binary.LittleEndian.AppendUint16(buf, 0) // count, patched by FinishRecord
+	return buf
+}
+
+// FinishRecord seals a record staged by BeginRecord followed by count
+// wire.AppendOp calls: it patches the count, then the length and CRC.
+// buf must begin at the record's first byte. A batch that mutated
+// nothing (count 0) produces no record — the empty slice is returned
+// and nothing need be logged. Zero-alloc.
+//
+//pimvet:allocfree //pimvet:nonblocking
+func FinishRecord(buf []byte, count int) []byte {
+	if count == 0 {
+		return buf[:0]
+	}
+	payload := buf[recHeaderSize:]
+	binary.LittleEndian.PutUint16(payload[10:], uint16(count))
+	binary.LittleEndian.PutUint32(buf, uint32(len(payload)))
+	binary.LittleEndian.PutUint32(buf[4:], crc32.Checksum(payload, crcTable))
+	return buf
+}
+
+// AppendRecord encodes one whole record in a single call — the
+// convenience form of BeginRecord + AppendOp× + FinishRecord that
+// tests and tools use; the staging halves exist for the server, which
+// fills the record incrementally inside the combining window.
+func AppendRecord(buf []byte, shard uint16, seq uint64, ops []wire.Op) []byte {
+	start := len(buf)
+	buf = BeginRecord(buf, shard, seq)
+	for _, op := range ops {
+		buf = wire.AppendOp(buf, op)
+	}
+	sealed := FinishRecord(buf[start:], len(ops))
+	return buf[:start+len(sealed)]
+}
+
+// Record is one decoded WAL record: a combiner batch's mutating ops.
+type Record struct {
+	Shard uint16
+	Seq   uint64
+	// Ops aliases the arena passed to DecodeRecord; reuse it via
+	// rec.Ops[:0] on the next call.
+	Ops []wire.Op
+}
+
+// DecodeRecord decodes one record from the front of b, appending its
+// ops to dst (pass dst[:0] to reuse an arena across records). It
+// returns the record, the total bytes consumed, and an error: ErrTorn
+// when b ends before the record does, ErrCorrupt when a complete
+// record fails its CRC or declares an impossible shape.
+func DecodeRecord(b []byte, dst []wire.Op) (Record, int, error) {
+	if len(b) < recHeaderSize {
+		return Record{}, 0, ErrTorn
+	}
+	n := int(binary.LittleEndian.Uint32(b))
+	crc := binary.LittleEndian.Uint32(b[4:])
+	if n < payloadHead || n > MaxRecordPayload {
+		return Record{}, 0, ErrCorrupt
+	}
+	if len(b) < recHeaderSize+n {
+		return Record{}, 0, ErrTorn
+	}
+	payload := b[recHeaderSize : recHeaderSize+n]
+	if crc32.Checksum(payload, crcTable) != crc {
+		return Record{}, 0, ErrCorrupt
+	}
+	rec := Record{
+		Shard: binary.LittleEndian.Uint16(payload),
+		Seq:   binary.LittleEndian.Uint64(payload[2:]),
+	}
+	count := int(binary.LittleEndian.Uint16(payload[10:]))
+	if count == 0 || count > wire.MaxOpsPerFrame || n != payloadHead+count*wire.OpRecordSize {
+		return Record{}, 0, ErrCorrupt
+	}
+	body := payload[payloadHead:]
+	start := len(dst)
+	for i := 0; i < count; i++ {
+		op, err := wire.DecodeOp(body[i*wire.OpRecordSize:])
+		if err != nil || !op.Kind.Mutating() {
+			// The CRC passed but the op is not one a WAL writer would
+			// ever log: the record was produced by a broken encoder.
+			return Record{}, 0, ErrCorrupt
+		}
+		dst = append(dst, op)
+	}
+	rec.Ops = dst[start:]
+	return rec, recHeaderSize + n, nil
+}
+
+// SegmentName returns the file name of segment n.
+func SegmentName(n uint64) string { return fmt.Sprintf("wal-%08d.log", n) }
+
+// parseSegment inverts SegmentName; ok is false for foreign files.
+// Round-tripping through SegmentName rejects anything non-canonical
+// (wrong padding, trailing junk).
+func parseSegment(name string) (uint64, bool) {
+	var n uint64
+	c, err := fmt.Sscanf(name, "wal-%d.log", &n)
+	if err == nil && c == 1 && name == SegmentName(n) {
+		return n, true
+	}
+	return 0, false
+}
+
+// Segments lists the segment indexes present in dir, ascending. A
+// missing directory is an empty log, not an error.
+func Segments(dir string) ([]uint64, error) {
+	ents, err := os.ReadDir(dir)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var segs []uint64
+	for _, e := range ents {
+		if n, ok := parseSegment(e.Name()); ok && !e.IsDir() {
+			segs = append(segs, n)
+		}
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i] < segs[j] })
+	return segs, nil
+}
+
+// Prune removes every segment with index < below. Called after a
+// snapshot at segment boundary `below` makes the older segments
+// redundant. Best-effort per file; the first removal error is returned
+// but a leftover segment is harmless (replay skips its records by seq).
+func Prune(dir string, below uint64) error {
+	segs, err := Segments(dir)
+	if err != nil {
+		return err
+	}
+	for _, seg := range segs {
+		if seg >= below {
+			break
+		}
+		if err := os.Remove(filepath.Join(dir, SegmentName(seg))); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// syncDir fsyncs a directory so a just-created or just-renamed entry
+// survives power loss, not only process death.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// A Log is one open segment being appended to. Appends accumulate in a
+// userspace buffer; Sync flushes it and (when the log was opened with
+// fsync) forces the segment to stable storage. All methods belong to
+// one goroutine — the server's WAL writer.
+type Log struct {
+	dir   string
+	fsync bool
+	seg   uint64
+	f     *os.File
+	bw    *bufio.Writer
+	size  int64
+}
+
+// Open opens segment seg in dir for appending, creating the directory
+// and the segment as needed. fsync selects whether Sync reaches the
+// disk or only the kernel.
+func Open(dir string, seg uint64, fsync bool) (*Log, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(filepath.Join(dir, SegmentName(seg)), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &Log{dir: dir, fsync: fsync, seg: seg, f: f, bw: bufio.NewWriterSize(f, 1<<18), size: st.Size()}, nil
+}
+
+// Append buffers one sealed record. Durability is Sync's job.
+func (l *Log) Append(rec []byte) error {
+	n, err := l.bw.Write(rec)
+	l.size += int64(n)
+	return err
+}
+
+// Sync flushes buffered records to the file and, when the log was
+// opened with fsync, forces them to stable storage. This is the
+// group-commit point: everything appended since the last Sync becomes
+// durable together.
+func (l *Log) Sync() error {
+	if err := l.bw.Flush(); err != nil {
+		return err
+	}
+	if !l.fsync {
+		return nil
+	}
+	return l.f.Sync()
+}
+
+// Seg returns the index of the open segment.
+func (l *Log) Seg() uint64 { return l.seg }
+
+// Size returns the byte size of the open segment including buffered
+// appends.
+func (l *Log) Size() int64 { return l.size }
+
+// Roll syncs and closes the open segment and opens the next one. The
+// new segment's directory entry is fsynced so the roll itself is
+// durable. Snapshots roll first: every record in closed segments then
+// predates the snapshot's per-shard sequence numbers.
+func (l *Log) Roll() error {
+	if err := l.Sync(); err != nil {
+		return err
+	}
+	if err := l.f.Close(); err != nil {
+		return err
+	}
+	f, err := os.OpenFile(filepath.Join(l.dir, SegmentName(l.seg+1)), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	if err := syncDir(l.dir); err != nil {
+		f.Close()
+		return err
+	}
+	l.seg++
+	l.f = f
+	l.size = 0
+	l.bw.Reset(f)
+	return nil
+}
+
+// Close syncs and closes the open segment.
+func (l *Log) Close() error {
+	err := l.Sync()
+	if cerr := l.f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// ReplayResult summarizes one recovery pass.
+type ReplayResult struct {
+	Records   int
+	Ops       int
+	Truncated bool   // a torn or corrupt tail was cut off
+	NextSeg   uint64 // segment to open for appending
+}
+
+// Replay walks every record in dir's segments with index ≥ from, in
+// segment then file order, calling fn for each. Recovery stops cleanly
+// at the first torn or corrupt record: the containing segment is
+// truncated at the last good byte and any later segments — written
+// after the point the log went bad — are removed, so the next process
+// appends to an intact log. fn's error aborts the walk unchanged.
+//
+// The Record passed to fn aliases an internal arena reused between
+// calls; copy what must outlive the callback.
+func Replay(dir string, from uint64, fn func(Record) error) (ReplayResult, error) {
+	segs, err := Segments(dir)
+	if err != nil {
+		return ReplayResult{}, err
+	}
+	res := ReplayResult{NextSeg: from}
+	var arena []wire.Op
+	for si, seg := range segs {
+		if seg < from {
+			continue
+		}
+		res.NextSeg = seg
+		path := filepath.Join(dir, SegmentName(seg))
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return res, err
+		}
+		off := 0
+		for off < len(data) {
+			rec, n, derr := DecodeRecord(data[off:], arena[:0])
+			if derr != nil {
+				// The log ends here. Cut the bad tail and drop every
+				// later segment so the survivors form an intact log.
+				if err := os.Truncate(path, int64(off)); err != nil {
+					return res, err
+				}
+				for _, later := range segs[si+1:] {
+					if err := os.Remove(filepath.Join(dir, SegmentName(later))); err != nil {
+						return res, err
+					}
+				}
+				res.Truncated = true
+				return res, nil
+			}
+			arena = rec.Ops[:0]
+			if err := fn(rec); err != nil {
+				return res, err
+			}
+			res.Records++
+			res.Ops += len(rec.Ops)
+			off += n
+		}
+	}
+	return res, nil
+}

@@ -96,6 +96,18 @@ func (k OpKind) Valid() bool { return k < numKinds }
 // variable-length results.
 func (k OpKind) Ordered() bool { return k >= RangeScan && k < numKinds }
 
+// Mutating reports whether k can change structure state. Only mutating
+// ops need to reach a write-ahead log: Contains/RangeScan/Pred/Succ
+// leave the structure untouched, and the conditional mutators (a failed
+// Add, a Pop on empty) replay as deterministic no-ops.
+func (k OpKind) Mutating() bool {
+	switch k {
+	case Add, Remove, Enqueue, Dequeue, Push, Pop, PopMin, PopMax:
+		return true
+	}
+	return false
+}
+
 // String names the kind.
 func (k OpKind) String() string {
 	switch k {
@@ -246,6 +258,12 @@ const (
 	// must be split across frames.
 	MaxOpsPerFrame = 4096
 
+	// OpRecordSize is the encoded size of one op record as produced by
+	// AppendOp — the same 27-byte layout FrameRequestV2 carries.
+	// Exported so other framings (the WAL's batch records) can size
+	// buffers and index records without re-deriving the layout.
+	OpRecordSize = opV2Size
+
 	// MaxScanLimit is the largest result cardinality the server will
 	// serve for one RangeScan; a request Limit of 0 (or anything
 	// larger) is clamped to it. Bounding per-op results keeps combiner
@@ -309,7 +327,46 @@ var (
 	errBadOKByte       = fmt.Errorf("%w: ok byte must be 0 or 1", ErrMalformed)
 	errVarTruncated    = fmt.Errorf("%w: variable record truncated", ErrMalformed)
 	errVarTrailing     = fmt.Errorf("%w: trailing bytes after the last variable record", ErrMalformed)
+	errOpTruncated     = fmt.Errorf("%w: op record truncated", ErrMalformed)
+	errBadOpKind       = fmt.Errorf("%w: undefined op kind", ErrMalformed)
 )
+
+// AppendOp appends the canonical 27-byte encoding of one op — the V2
+// record layout — and returns the extended slice. This is the unit
+// encoding shared by FrameRequestV2 and the WAL's batch records.
+// Zero-alloc when buf has capacity.
+//
+//pimvet:allocfree //pimvet:nonblocking
+func AppendOp(buf []byte, op Op) []byte {
+	buf = binary.LittleEndian.AppendUint64(buf, op.ID)
+	buf = append(buf, byte(op.Kind))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(op.Key))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(op.Hi))
+	buf = binary.LittleEndian.AppendUint16(buf, op.Limit)
+	return buf
+}
+
+// DecodeOp decodes one op record produced by AppendOp from the front
+// of b. Strict: the kind byte must name a defined op, so every accepted
+// record re-encodes byte-identically. Zero-alloc.
+//
+//pimvet:allocfree //pimvet:nonblocking
+func DecodeOp(b []byte) (Op, error) {
+	if len(b) < OpRecordSize {
+		return Op{}, errOpTruncated
+	}
+	op := Op{
+		ID:    binary.LittleEndian.Uint64(b),
+		Kind:  OpKind(b[8]),
+		Key:   int64(binary.LittleEndian.Uint64(b[9:])),
+		Hi:    int64(binary.LittleEndian.Uint64(b[17:])),
+		Limit: binary.LittleEndian.Uint16(b[25:]),
+	}
+	if !op.Kind.Valid() {
+		return Op{}, errBadOpKind
+	}
+	return op, nil
+}
 
 // AppendRequest appends one request frame carrying ops to buf and
 // returns the extended slice. len(ops) must be in [0, MaxOpsPerFrame].
@@ -385,11 +442,7 @@ func AppendRequestV2(buf []byte, ops []Op, tc TraceContext) ([]byte, error) {
 	buf = binary.LittleEndian.AppendUint64(buf, tc.TraceID)
 	buf = append(buf, tc.flags())
 	for _, op := range ops {
-		buf = binary.LittleEndian.AppendUint64(buf, op.ID)
-		buf = append(buf, byte(op.Kind))
-		buf = binary.LittleEndian.AppendUint64(buf, uint64(op.Key))
-		buf = binary.LittleEndian.AppendUint64(buf, uint64(op.Hi))
-		buf = binary.LittleEndian.AppendUint16(buf, op.Limit)
+		buf = AppendOp(buf, op)
 	}
 	return buf, nil
 }
