@@ -73,6 +73,7 @@ type walState struct {
 	log     *wal.Log        // writer goroutine only (after recovery)
 	commits chan *walCommit // combiners → writer, FIFO across shards
 	ackq    []*walCommit    // writer-local: appended but not yet synced+acked
+	pending int             // writer-local: records appended but not yet synced
 
 	started    bool // writer goroutine launched (guarded by Server.mu)
 	writerDone chan struct{}
@@ -166,36 +167,36 @@ func (s *Server) walWriter() {
 		if !ok {
 			return
 		}
-		group := s.walAdmit(cm)
+		s.walAdmit(cm)
 	gather:
 		for {
 			select {
 			case cm, ok := <-w.commits:
 				if !ok {
-					s.walRelease(group)
+					s.walRelease()
 					return
 				}
-				group += s.walAdmit(cm)
+				s.walAdmit(cm)
 			default:
 				break gather
 			}
 		}
-		s.walRelease(group)
+		s.walRelease()
 	}
 }
 
-// walAdmit appends one commit's record (if any) and queues its acks;
-// control items first retire everything pending, then run. Returns the
-// number of records this commit added to the unsynced group. In
-// FsyncAlways mode each admit retires immediately.
-func (s *Server) walAdmit(cm *walCommit) int {
+// walAdmit appends one commit's record (if any), counting it in
+// w.pending, and queues its acks; control items first retire
+// everything pending — including a real sync for any unsynced records
+// appended earlier in this gather pass — then run. In FsyncAlways mode
+// each admit retires immediately.
+func (s *Server) walAdmit(cm *walCommit) {
 	w := s.wal
 	if cm.fn != nil {
-		s.walRelease(0)
+		s.walRelease()
 		cm.fn()
-		return 0
+		return
 	}
-	group := 0
 	if len(cm.buf) > 0 {
 		if err := w.log.Append(cm.buf); err != nil {
 			// Durability is the contract; a log the server cannot append
@@ -204,30 +205,29 @@ func (s *Server) walAdmit(cm *walCommit) int {
 		}
 		w.records.Inc()
 		w.bytes.Add(uint64(len(cm.buf)))
-		group = 1
+		w.pending++
 	}
 	w.ackq = append(w.ackq, cm)
 	if w.always {
-		s.walRelease(group)
-		return 0
+		s.walRelease()
 	}
-	return group
 }
 
-// walRelease makes the group's records durable and releases every
-// queued ack. group == 0 (only read-only batches pending) skips the
+// walRelease makes every unsynced record durable and releases every
+// queued ack. pending == 0 (only read-only batches queued) skips the
 // sync: nothing new was appended, and everything those reads observed
 // was covered by an earlier sync in the FIFO.
-func (s *Server) walRelease(group int) {
+func (s *Server) walRelease() {
 	w := s.wal
-	if group > 0 {
+	if w.pending > 0 {
 		if err := w.log.Sync(); err != nil {
 			panic(fmt.Sprintf("server: wal sync: %v", err))
 		}
 		if !w.off {
 			w.fsyncs.Inc()
 		}
-		w.group.Observe(int64(group))
+		w.group.Observe(int64(w.pending))
+		w.pending = 0
 	}
 	if len(w.ackq) == 0 {
 		return

@@ -36,6 +36,7 @@ import (
 	"errors"
 	"fmt"
 	"hash/crc32"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
@@ -256,14 +257,29 @@ type Log struct {
 
 // Open opens segment seg in dir for appending, creating the directory
 // and the segment as needed. fsync selects whether Sync reaches the
-// disk or only the kernel.
+// disk or only the kernel. The directory entries for the segment — and
+// for the WAL directory itself, when Open created it — are fsynced
+// before returning, mirroring Roll: otherwise records fsynced into a
+// fresh segment could vanish on power loss with their file.
 func Open(dir string, seg uint64, fsync bool) (*Log, error) {
+	_, statErr := os.Stat(dir)
+	madeDir := errors.Is(statErr, os.ErrNotExist)
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
 	f, err := os.OpenFile(filepath.Join(dir, SegmentName(seg)), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, err
+	}
+	if err := syncDir(dir); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if madeDir {
+		if err := syncDir(filepath.Dir(dir)); err != nil {
+			f.Close()
+			return nil, err
+		}
 	}
 	st, err := f.Stat()
 	if err != nil {
@@ -345,11 +361,13 @@ type ReplayResult struct {
 }
 
 // Replay walks every record in dir's segments with index ≥ from, in
-// segment then file order, calling fn for each. Recovery stops cleanly
-// at the first torn or corrupt record: the containing segment is
-// truncated at the last good byte and any later segments — written
-// after the point the log went bad — are removed, so the next process
-// appends to an intact log. fn's error aborts the walk unchanged.
+// segment then file order, calling fn for each. Segments are streamed
+// through a bounded buffer, so recovery memory is independent of
+// segment size. Recovery stops cleanly at the first torn or corrupt
+// record: the containing segment is truncated at the last good byte
+// and any later segments — written after the point the log went bad —
+// are removed, so the next process appends to an intact log. fn's
+// error aborts the walk unchanged.
 //
 // The Record passed to fn aliases an internal arena reused between
 // calls; copy what must outlive the callback.
@@ -360,41 +378,78 @@ func Replay(dir string, from uint64, fn func(Record) error) (ReplayResult, error
 	}
 	res := ReplayResult{NextSeg: from}
 	var arena []wire.Op
+	recBuf := make([]byte, recHeaderSize+MaxRecordPayload)
 	for si, seg := range segs {
 		if seg < from {
 			continue
 		}
 		res.NextSeg = seg
 		path := filepath.Join(dir, SegmentName(seg))
-		data, err := os.ReadFile(path)
+		good, ok, err := replaySegment(path, recBuf, &arena, &res, fn)
 		if err != nil {
 			return res, err
 		}
-		off := 0
-		for off < len(data) {
-			rec, n, derr := DecodeRecord(data[off:], arena[:0])
-			if derr != nil {
-				// The log ends here. Cut the bad tail and drop every
-				// later segment so the survivors form an intact log.
-				if err := os.Truncate(path, int64(off)); err != nil {
-					return res, err
-				}
-				for _, later := range segs[si+1:] {
-					if err := os.Remove(filepath.Join(dir, SegmentName(later))); err != nil {
-						return res, err
-					}
-				}
-				res.Truncated = true
-				return res, nil
-			}
-			arena = rec.Ops[:0]
-			if err := fn(rec); err != nil {
+		if !ok {
+			// The log ends here. Cut the bad tail and drop every
+			// later segment so the survivors form an intact log.
+			if err := os.Truncate(path, good); err != nil {
 				return res, err
 			}
-			res.Records++
-			res.Ops += len(rec.Ops)
-			off += n
+			for _, later := range segs[si+1:] {
+				if err := os.Remove(filepath.Join(dir, SegmentName(later))); err != nil {
+					return res, err
+				}
+			}
+			res.Truncated = true
+			return res, nil
 		}
 	}
 	return res, nil
+}
+
+// replaySegment streams one segment's records through fn, accumulating
+// counts into res. It returns the byte offset of the end of the last
+// good record and whether the segment was consumed cleanly; ok == false
+// with a nil error means the segment turned torn or corrupt at offset
+// good and the caller should truncate there. recBuf must hold a
+// maximum-size record; arena is the op arena reused across records.
+func replaySegment(path string, recBuf []byte, arena *[]wire.Op, res *ReplayResult, fn func(Record) error) (good int64, ok bool, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, false, err
+	}
+	defer f.Close()
+	br := bufio.NewReaderSize(f, 1<<18)
+	for {
+		if _, rerr := io.ReadFull(br, recBuf[:recHeaderSize]); rerr != nil {
+			if rerr == io.EOF {
+				return good, true, nil
+			}
+			if rerr == io.ErrUnexpectedEOF {
+				return good, false, nil // torn mid-header
+			}
+			return good, false, rerr
+		}
+		n := int(binary.LittleEndian.Uint32(recBuf))
+		if n < payloadHead || n > MaxRecordPayload {
+			return good, false, nil // corrupt length; DecodeRecord would reject it too
+		}
+		if _, rerr := io.ReadFull(br, recBuf[recHeaderSize:recHeaderSize+n]); rerr != nil {
+			if rerr == io.EOF || rerr == io.ErrUnexpectedEOF {
+				return good, false, nil // torn mid-payload
+			}
+			return good, false, rerr
+		}
+		rec, consumed, derr := DecodeRecord(recBuf[:recHeaderSize+n], (*arena)[:0])
+		if derr != nil {
+			return good, false, nil
+		}
+		*arena = rec.Ops[:0]
+		if ferr := fn(rec); ferr != nil {
+			return good, false, ferr
+		}
+		res.Records++
+		res.Ops += len(rec.Ops)
+		good += int64(consumed)
+	}
 }
